@@ -1,0 +1,155 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* charge-deposition mode: paper-faithful ``lut`` hand-off vs fully
+  geometry-consistent ``direct`` chords;
+* stored data pattern: uniform vs checkerboard;
+* alpha arrival law: isotropic package emission vs cosine law;
+* array margin: tracks entering from outside the array footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_particle
+from repro.layout import CellLayout, SramArrayLayout
+from repro.ser import ArrayMcConfig, ArraySerSimulator
+
+
+@pytest.fixture(scope="module")
+def alpha():
+    return get_particle("alpha")
+
+
+def _layout(flow, pattern="uniform"):
+    return SramArrayLayout(
+        9,
+        9,
+        CellLayout(
+            fin=flow.design.tech.fin,
+            collection_length_nm=flow.design.tech.collection_length_nm,
+        ),
+        data_pattern=pattern,
+    )
+
+
+def test_ablation_deposition_mode(flow, alpha, benchmark):
+    """lut vs direct deposition at one (energy, vdd) point."""
+
+    def run_both():
+        results = {}
+        for mode in ("lut", "direct"):
+            sim = ArraySerSimulator(
+                _layout(flow),
+                flow.pof_table(),
+                yield_luts=flow.yield_luts(),
+                config=ArrayMcConfig(deposition_mode=mode),
+            )
+            results[mode] = sim.run(
+                alpha, 2.0, 0.7, 40000, np.random.default_rng(5)
+            )
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lut_pof = results["lut"].pof_total_given_hit
+    direct_pof = results["direct"].pof_total_given_hit
+    print(
+        f"\nAblation deposition mode @2MeV/0.7V: "
+        f"lut POF|hit={lut_pof:.4f}, direct POF|hit={direct_pof:.4f}, "
+        f"lut MBU/SEU={100 * results['lut'].mbu_to_seu_ratio:.2f}%, "
+        f"direct MBU/SEU={100 * results['direct'].mbu_to_seu_ratio:.2f}%"
+    )
+    # the paper-faithful hand-off and the consistent-geometry variant
+    # must agree on the total POF to within a small factor
+    assert 0.25 < lut_pof / direct_pof < 4.0
+
+
+def test_ablation_data_pattern(flow, alpha, benchmark):
+    """Uniform vs checkerboard stored data."""
+
+    def run_both():
+        results = {}
+        for pattern in ("uniform", "checkerboard"):
+            sim = ArraySerSimulator(
+                _layout(flow, pattern),
+                flow.pof_table(),
+                yield_luts=flow.yield_luts(),
+            )
+            results[pattern] = sim.run(
+                alpha, 2.0, 0.7, 40000, np.random.default_rng(6)
+            )
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    uni = results["uniform"]
+    chk = results["checkerboard"]
+    print(
+        f"\nAblation data pattern @2MeV/0.7V: "
+        f"uniform POF|hit={uni.pof_total_given_hit:.4f} "
+        f"MBU/SEU={100 * uni.mbu_to_seu_ratio:.2f}% | "
+        f"checkerboard POF|hit={chk.pof_total_given_hit:.4f} "
+        f"MBU/SEU={100 * chk.mbu_to_seu_ratio:.2f}%"
+    )
+    # the per-cell sensitive count is identical, so total POF must be
+    # pattern-insensitive to first order
+    assert uni.pof_total_given_hit == pytest.approx(
+        chk.pof_total_given_hit, rel=0.3
+    )
+
+
+def test_ablation_direction_law(flow, alpha, benchmark):
+    """Isotropic package alphas vs a (hypothetical) cosine arrival."""
+
+    def run_both():
+        results = {}
+        for law in ("isotropic", "cosine"):
+            sim = ArraySerSimulator(
+                _layout(flow),
+                flow.pof_table(),
+                yield_luts=flow.yield_luts(),
+                config=ArrayMcConfig(direction_laws={"alpha": law}),
+            )
+            results[law] = sim.run(
+                alpha, 2.0, 0.7, 40000, np.random.default_rng(7)
+            )
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    iso = results["isotropic"]
+    cos = results["cosine"]
+    print(
+        f"\nAblation direction law @2MeV/0.7V: "
+        f"isotropic MBU/SEU={100 * iso.mbu_to_seu_ratio:.2f}% | "
+        f"cosine MBU/SEU={100 * cos.mbu_to_seu_ratio:.2f}%"
+    )
+    # grazing-track-rich isotropic emission drives multi-cell upsets
+    assert iso.mbu_to_seu_ratio > cos.mbu_to_seu_ratio
+
+
+def test_ablation_margin(flow, alpha, benchmark):
+    """Zero vs default launch margin: side-entering tracks matter."""
+
+    def run_both():
+        results = {}
+        for margin in (0.0, 100.0):
+            sim = ArraySerSimulator(
+                _layout(flow),
+                flow.pof_table(),
+                yield_luts=flow.yield_luts(),
+                config=ArrayMcConfig(margin_nm=margin),
+            )
+            results[margin] = sim.run(
+                alpha, 2.0, 0.7, 40000, np.random.default_rng(8)
+            )
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(
+        f"\nAblation margin @2MeV/0.7V: "
+        f"0nm MBU/SEU={100 * results[0.0].mbu_to_seu_ratio:.2f}% | "
+        f"100nm MBU/SEU={100 * results[100.0].mbu_to_seu_ratio:.2f}%"
+    )
+    # both must see strikes; the margin version launches over a larger
+    # window so its per-launch POF is diluted but FIT-normalization
+    # compensates via the larger area (checked in unit tests)
+    assert results[0.0].n_fin_strikes > 0
+    assert results[100.0].n_fin_strikes > 0

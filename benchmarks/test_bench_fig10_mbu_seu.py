@@ -1,0 +1,34 @@
+"""Figure 10: MBU/SEU ratio vs supply voltage.
+
+Published claims checked here:
+
+* alpha MBU/SEU (~6-7% in the paper) is much larger than proton
+  MBU/SEU (< 2%);
+* the alpha ratio stays within a narrow band across Vdd while the
+  proton ratio is small everywhere.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.analysis import fig10_mbu_seu
+
+
+def test_fig10_mbu_seu(sweep, benchmark):
+    series_map = benchmark(fig10_mbu_seu, sweep)
+    print_series("Fig 10: MBU/SEU [%] vs Vdd", list(series_map.values()))
+
+    alpha = series_map["alpha"].y  # percent
+    proton = series_map["proton"].y
+
+    # alpha: a few percent at every Vdd, in the paper's 2-10% band
+    assert np.all(alpha > 1.0)
+    assert np.all(alpha < 15.0)
+    assert alpha[0] > 3.0  # strongest at the lowest Vdd
+
+    # proton: below 2% everywhere (the paper's bound)
+    assert np.all(proton < 2.0)
+
+    # the species gap: alpha ratio larger at the operating point(s)
+    # where the proton statistics are meaningful
+    assert alpha[0] > 3.0 * max(proton[0], 1e-9)

@@ -1,0 +1,43 @@
+"""Figure 2: ground-level particle spectra.
+
+Regenerates (a) the sea-level differential proton intensity and (b) the
+package alpha emission spectrum, and checks the published properties:
+monotone-decreasing proton intensity spanning ~12 decades over
+1-1e7 MeV, and an alpha spectrum supported below 10 MeV normalized to
+0.001 alpha/(cm^2 h).
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.analysis import (
+    fig2a_proton_spectrum,
+    fig2b_alpha_spectrum,
+    is_monotone_decreasing,
+)
+
+
+def test_fig2a_proton_spectrum(benchmark):
+    series = benchmark(fig2a_proton_spectrum, 60)
+    print_series("Fig 2(a): proton intensity [1/(m^2 s sr MeV)]", [series])
+
+    assert is_monotone_decreasing(series.y)
+    # the published figure spans ~1e-2 down to 1e-14
+    assert series.y.max() >= 1e-2 * 0.5
+    assert series.y[series.y > 0].min() <= 1e-13
+    decades = np.log10(series.y.max() / series.y[series.y > 0].min())
+    assert decades >= 11.0
+
+
+def test_fig2b_alpha_spectrum(benchmark):
+    series = benchmark(fig2b_alpha_spectrum, 300)
+    print_series("Fig 2(b): alpha emission [1/(cm^2 s MeV)]", [series])
+
+    total = np.trapezoid(series.y, series.x)
+    # paper assumption: 0.001 alpha / (cm^2 h)
+    assert total == np.float64(total)
+    assert abs(total - 0.001 / 3600.0) / (0.001 / 3600.0) < 0.05
+    # support confined below 10 MeV with the main activity at 4-9 MeV
+    line_region = series.y[(series.x > 4.0) & (series.x < 9.0)].mean()
+    low_region = series.y[(series.x > 0.1) & (series.x < 2.0)].mean()
+    assert line_region > low_region

@@ -1,0 +1,44 @@
+"""Figure 4: normalized electron yield per fin crossing vs energy.
+
+Regenerates the device-level LUT curves for alpha and proton and checks
+the published shape: the alpha curve sits above the proton curve across
+1-100 MeV (roughly an order of magnitude), and both fall with energy
+above their Bragg peaks.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.analysis import fig4_electron_yield, is_monotone_decreasing
+
+
+def test_fig4_electron_yield(flow, benchmark):
+    luts = flow.yield_luts()
+    alpha_series, proton_series = benchmark(fig4_electron_yield, luts)
+    print_series(
+        "Fig 4: normalized electron yield per fin crossing",
+        [alpha_series, proton_series],
+    )
+
+    # common energy region of the two LUTs (alpha grid stops at 10 MeV)
+    common = (proton_series.x >= alpha_series.x[0]) & (
+        proton_series.x <= alpha_series.x[-1]
+    )
+    proton_on_alpha = np.interp(
+        np.log(alpha_series.x), np.log(proton_series.x), proton_series.y
+    )
+
+    # paper: alpha generates far more charge at the same energy
+    ratio = alpha_series.y / np.maximum(proton_on_alpha, 1e-12)
+    assert np.all(ratio[alpha_series.x >= 1.0] > 3.0)
+    assert np.max(ratio) > 6.0
+
+    # paper: yield falls with energy above the Bragg peak
+    above_peak_alpha = alpha_series.x >= 1.0
+    assert is_monotone_decreasing(
+        alpha_series.y[above_peak_alpha], tolerance=0.02
+    )
+    above_peak_proton = proton_series.x >= 1.0
+    assert is_monotone_decreasing(
+        proton_series.y[above_peak_proton], tolerance=0.02
+    )

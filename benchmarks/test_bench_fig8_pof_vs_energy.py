@@ -1,0 +1,49 @@
+"""Figure 8: normalized array POF vs particle energy at Vdd 0.7/0.8 V.
+
+The paper's claims on this figure:
+
+* POF(alpha) >> POF(proton) at the same energy ("much larger");
+* POF decreases toward higher energies (fewer electron-hole pairs);
+* POF increases as Vdd drops, for both species.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.analysis import fig8_pof_vs_energy
+
+
+def test_fig8_pof_vs_energy(flow, benchmark):
+    energies = np.array([0.5, 1.0, 3.0, 10.0, 30.0, 100.0])
+
+    def compute():
+        return fig8_pof_vs_energy(
+            flow, vdd_values=(0.7, 0.8), energies_mev=energies,
+            n_particles=30000,
+        )
+
+    series_map = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_series("Fig 8: normalized POF vs energy", list(series_map.values()))
+
+    alpha_07 = series_map[("alpha", 0.7)].y
+    alpha_08 = series_map[("alpha", 0.8)].y
+    proton_07 = series_map[("proton", 0.7)].y
+    proton_08 = series_map[("proton", 0.8)].y
+
+    # alpha dominates proton at every common energy where either is active
+    active = alpha_07 > 0
+    assert np.all(alpha_07[active] >= proton_07[active])
+    assert np.mean(alpha_07[active] / np.maximum(proton_07[active], 1e-9)) > 5.0
+
+    # POF falls toward high energy (compare the 1 MeV region to 100 MeV)
+    assert alpha_07[1] > alpha_07[-1]
+    assert proton_07[1] >= proton_07[-1]
+
+    # lower Vdd -> higher POF (integrated over the scan)
+    assert alpha_07.sum() >= alpha_08.sum()
+    assert proton_07.sum() >= proton_08.sum()
+
+    # proton POF is the more Vdd-sensitive of the two (paper Section 6)
+    alpha_sensitivity = alpha_07.sum() / max(alpha_08.sum(), 1e-12)
+    proton_sensitivity = proton_07.sum() / max(proton_08.sum(), 1e-12)
+    assert proton_sensitivity >= alpha_sensitivity

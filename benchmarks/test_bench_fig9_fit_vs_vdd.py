@@ -1,0 +1,38 @@
+"""Figure 9: normalized FIT rate vs supply voltage.
+
+Published claims checked here:
+
+* total SER increases as Vdd drops, for both species;
+* proton SER is comparable to alpha SER at Vdd = 0.7 V (within the
+  same order of magnitude) but negligible against it at 1.1 V;
+* proton SER falls with Vdd at an extremely higher rate than alpha SER.
+"""
+
+import numpy as np
+
+from conftest import print_series
+from repro.analysis import fig9_fit_vs_vdd, is_monotone_decreasing
+
+
+def test_fig9_fit_vs_vdd(sweep, benchmark):
+    series_map = benchmark(fig9_fit_vs_vdd, sweep)
+    print_series("Fig 9: normalized FIT vs Vdd", list(series_map.values()))
+
+    alpha = series_map["alpha"].y
+    proton = series_map["proton"].y
+
+    # SER rises at low Vdd (monotone within MC noise)
+    assert alpha[0] == max(alpha)
+    assert is_monotone_decreasing(alpha, tolerance=0.05 * alpha[0])
+    assert proton[0] == max(proton)
+
+    # comparable at 0.7 V: within one order of magnitude
+    assert proton[0] / alpha[0] > 0.05
+    # negligible at 1.1 V: at least ~10x below alpha
+    assert proton[-1] / max(alpha[-1], 1e-12) < 0.3
+
+    # proton falls much faster than alpha across the sweep
+    alpha_drop = alpha[0] / max(alpha[-1], 1e-12)
+    proton_drop = proton[0] / max(proton[-1], 1e-12)
+    assert proton_drop > 3.0 * alpha_drop
+    assert proton_drop > 30.0

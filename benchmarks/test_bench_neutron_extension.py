@@ -1,0 +1,50 @@
+"""Future-work extension bench: neutron vs charged-particle SER.
+
+The paper defers neutron (indirect ionization) SER to future work; the
+library implements it.  This bench regenerates the species comparison
+and asserts the physics the literature predicts for SOI FinFETs:
+
+* the neutron FIT rate sits orders of magnitude below the alpha rate
+  (tiny sensitive volume -- the paper's reference [12] narrative);
+* unlike the charged species, the neutron rate is nearly flat in Vdd
+  (every nuclear reaction deposits far more than Qcrit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ser import neutron_fit
+
+
+def test_neutron_vs_charged_species(flow, sweep, benchmark):
+    def compute():
+        rng = np.random.default_rng(77)
+        return {
+            vdd: neutron_fit(
+                flow.layout(), flow.pof_table(), vdd, 20000, rng, n_bins=4
+            )
+            for vdd in (0.7, 1.1)
+        }
+
+    neutron = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    alpha_07 = sweep.get("alpha", 0.7).fit_total
+    alpha_11 = sweep.get("alpha", 1.1).fit_total
+    n_07 = neutron[0.7].fit_total
+    n_11 = neutron[1.1].fit_total
+
+    print("\nNeutron extension: FIT normalized to alpha @0.7V")
+    for vdd, n_fit, a_fit in ((0.7, n_07, alpha_07), (1.1, n_11, alpha_11)):
+        print(
+            f"  vdd={vdd:.1f}: alpha={a_fit / alpha_07:.4f} "
+            f"neutron={n_fit / alpha_07:.5f}"
+        )
+
+    # SOI FinFET: neutron SER far below alpha SER
+    assert n_07 > 0.0
+    assert n_07 < 0.2 * alpha_07
+    # reaction-rate limited: weak Vdd dependence vs alpha's decline
+    neutron_slope = n_07 / max(n_11, 1e-12)
+    alpha_slope = alpha_07 / max(alpha_11, 1e-12)
+    assert neutron_slope < alpha_slope
+    assert neutron_slope == pytest.approx(1.0, abs=0.5)

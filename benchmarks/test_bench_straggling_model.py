@@ -1,0 +1,75 @@
+"""Ablation: Bohr (Gaussian) vs Moyal (Landau-like) straggling.
+
+The deposit-fluctuation model shapes the upward tail that lets
+below-threshold mean deposits occasionally flip a cell.  This ablation
+quantifies how much the reproduced POF moves between the two models --
+an uncertainty band for the EXPERIMENTS.md results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import get_particle
+from repro.layout import CellLayout, SramArrayLayout
+from repro.ser import ArrayMcConfig, ArraySerSimulator
+from repro.physics import sample_deposits_kev, ALPHA
+
+
+def test_straggling_model_ablation(flow, benchmark):
+    layout = SramArrayLayout(
+        9,
+        9,
+        CellLayout(
+            fin=flow.design.tech.fin,
+            collection_length_nm=flow.design.tech.collection_length_nm,
+        ),
+    )
+
+    def run_both():
+        results = {}
+        for model in ("bohr", "moyal"):
+            # direct mode exercises the straggling sampler per strike
+            sim = ArraySerSimulator(
+                layout,
+                flow.pof_table(),
+                config=ArrayMcConfig(deposition_mode="direct"),
+            )
+            # monkey-patch-free: the direct path calls
+            # sample_deposits_kev with default model; emulate the model
+            # choice by sampling deposits at the physics level instead
+            results[model] = _pof_direct(
+                sim, flow, model, np.random.default_rng(17)
+            )
+        return results
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    bohr, moyal = results["bohr"], results["moyal"]
+    print(
+        f"\nStraggling ablation @2MeV/0.7V: "
+        f"bohr POF|hit={bohr:.4f}, moyal POF|hit={moyal:.4f}, "
+        f"ratio={moyal / max(bohr, 1e-12):.2f}"
+    )
+    # the models agree within a modest factor: the reproduced shapes do
+    # not hinge on the fluctuation model choice
+    assert 0.3 < moyal / max(bohr, 1e-12) < 3.0
+
+
+def _pof_direct(sim, flow, model, rng):
+    """Mean single-cell POF over sampled strike deposits."""
+    alpha = get_particle("alpha")
+    # sample representative chords from the array geometry
+    from repro.physics import sample_rays
+    from repro.geometry import chord_lengths
+
+    x_range, y_range, z, _ = sim.layout.launch_window(100.0)
+    rays = sample_rays(60000, rng, x_range, y_range, z, "isotropic")
+    chords = chord_lengths(rays, sim._sensitive_boxes)
+    struck = chords[chords > 0.0]
+    deposits = sample_deposits_kev(
+        alpha, np.full_like(struck, 2.0), struck, rng, model=model
+    )
+    charges = deposits * 1e3 / 3.6 * 1.602176634e-19
+    triples = np.zeros((len(charges), 3))
+    triples[:, 0] = charges
+    pofs = flow.pof_table().query(0.7, triples)
+    return float(np.mean(pofs))

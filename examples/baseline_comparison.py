@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Cross-layer flow vs the circuit-level baseline (related work [14, 17]).
+
+The paper motivates its device-to-circuit flow against circuit-only
+studies, which extract one critical charge and fold it into an
+empirical exponential SER formula.  This example runs both on the same
+technology card and shows concretely what the baseline misses:
+
+* the proton/alpha composition shift toward low Vdd (the baseline's
+  species ratio is a Vdd-independent flux ratio),
+* the SEU/MBU decomposition (the baseline has no layout),
+* the energy-resolved POF structure (the baseline has no spectrum
+  folding).
+"""
+
+import numpy as np
+
+from repro import FlowConfig, SerFlow
+from repro.baselines import CircuitLevelSerModel
+from repro.sram import CharacterizationConfig
+
+
+def main():
+    vdd_list = (0.7, 0.9, 1.1)
+    flow = SerFlow(
+        FlowConfig(
+            vdd_list=vdd_list,
+            yield_trials_per_energy=10000,
+            characterization=CharacterizationConfig(n_samples=150),
+            mc_particles_per_bin=30000,
+            n_energy_bins=5,
+        ),
+        cache_dir=".repro-cache",
+    )
+    baseline = CircuitLevelSerModel(flow.design)
+
+    print("Running the cross-layer flow ...")
+    sweep = flow.sweep()
+
+    print("\n=== proton/alpha SER ratio vs Vdd ===")
+    print("  Vdd    cross-layer    baseline")
+    for vdd in vdd_list:
+        cross = (
+            sweep.get("proton", vdd).fit_total
+            / sweep.get("alpha", vdd).fit_total
+        )
+        base = baseline.fit_rate("proton", vdd) / baseline.fit_rate(
+            "alpha", vdd
+        )
+        print(f"  {vdd:.1f}    {cross:10.4f}    {base:9.4f}")
+    print(
+        "  -> the baseline's ratio is constant by construction; the\n"
+        "     cross-layer flow resolves the paper's low-Vdd proton rise."
+    )
+
+    print("\n=== normalized alpha SER vs Vdd (shape comparison) ===")
+    cross_fits = np.array(
+        [sweep.get("alpha", v).fit_total for v in vdd_list]
+    )
+    base_fits = baseline.fit_series("alpha", vdd_list)
+    cross_norm = cross_fits / cross_fits[0]
+    base_norm = base_fits / base_fits[0]
+    print("  Vdd    cross-layer    baseline")
+    for vdd, c, b in zip(vdd_list, cross_norm, base_norm):
+        print(f"  {vdd:.1f}    {c:10.4f}    {b:9.4f}")
+
+    print("\n=== what only the cross-layer flow reports ===")
+    for vdd in vdd_list:
+        result = sweep.get("alpha", vdd)
+        print(
+            f"  Vdd={vdd:.1f}V: alpha MBU/SEU = "
+            f"{100 * result.mbu_to_seu_ratio:.2f}% "
+            "(baseline: undefined -- no layout)"
+        )
+
+
+if __name__ == "__main__":
+    main()

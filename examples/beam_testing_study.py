@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Accelerated-beam-testing emulation: POF vs tilt angle.
+
+Radiation qualification measures SER under a mono-energetic beam at a
+series of tilt angles (tilt-and-rotate geometry).  The library's
+``beam:<cos_theta>`` direction law reproduces that setup: fixed zenith
+angle, uniform azimuth.  This study shows how measured cross sections
+depend on tilt -- grazing beams see longer chords through the fins
+(higher per-strike deposit, more multi-cell events) but present a
+smaller projected sensitive area.
+"""
+
+import numpy as np
+
+from repro import FlowConfig, SerFlow, get_particle
+from repro.ser import ArrayMcConfig, ArraySerSimulator
+from repro.sram import CharacterizationConfig
+
+
+def main():
+    flow = SerFlow(
+        FlowConfig(
+            yield_trials_per_energy=10000,
+            characterization=CharacterizationConfig(n_samples=150),
+            mc_particles_per_bin=30000,
+        ),
+        cache_dir=".repro-cache",
+    )
+    alpha = get_particle("alpha")
+    vdd, energy = 0.7, 2.0
+
+    print("Alpha beam @2 MeV, 9x9 array, Vdd = 0.7 V")
+    print(f"{'tilt':>6s} {'cos':>5s} {'POF|hit':>9s} {'MBU/SEU':>8s} "
+          f"{'mean cluster':>13s}")
+    for tilt_deg in (0.0, 30.0, 60.0, 75.0, 85.0):
+        cos_theta = float(np.cos(np.radians(tilt_deg)))
+        law = f"beam:{max(cos_theta, 0.01):.4f}"
+        simulator = ArraySerSimulator(
+            flow.layout(),
+            flow.pof_table(),
+            yield_luts=flow.yield_luts(),
+            config=ArrayMcConfig(
+                deposition_mode="direct",  # chord-consistent for beams
+                direction_laws={"alpha": law},
+            ),
+        )
+        result = simulator.run(
+            alpha, energy, vdd, 40000, np.random.default_rng(int(tilt_deg))
+        )
+        print(
+            f"{tilt_deg:5.0f}deg {cos_theta:5.2f} "
+            f"{result.pof_total_given_hit:9.4f} "
+            f"{100 * result.mbu_to_seu_ratio:7.2f}% "
+            f"{result.mean_cluster_size():13.3f}"
+        )
+
+    print(
+        "\nExpected physics: steep beams maximize per-area strike count;"
+        "\ngrazing beams trade hit probability for chord length, pushing"
+        "\nthe MBU share and the mean upset cluster size up."
+    )
+
+    print("\n=== sigma(LET) characterization with Weibull fit ===")
+    from repro.ser import HeavyIonCampaign, fit_weibull
+
+    campaign = HeavyIonCampaign(flow.layout(), flow.pof_table())
+    lets = [0.03, 0.06, 0.1, 0.15, 0.25, 0.4, 0.8, 2.0]
+    points = campaign.sweep_let(
+        lets, vdd, 20000, np.random.default_rng(99)
+    )
+    for point in points:
+        print(
+            f"  LET={point.let_kev_per_nm:5.2f} keV/nm  "
+            f"sigma={point.cross_section_cm2_per_bit:.3e} cm^2/bit"
+        )
+    fit = fit_weibull(points)
+    print(
+        f"  Weibull: sigma_sat={fit.sigma_sat_cm2:.3e} cm^2/bit, "
+        f"L0={fit.let_threshold:.3f} keV/nm, "
+        f"W={fit.width:.3f}, s={fit.shape:.2f}"
+    )
+    print(
+        "  The onset LET corresponds to Qcrit / fin-height: the beam\n"
+        "  view and the spectrum view of the same cell agree."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Cell sizing study: the 1-1-1 dense cell vs the 1-2-1 read-stable cell.
+
+The classic SRAM sizing trade: doubling the pull-down fins improves
+read stability (beta ratio) at the cost of area -- and, this study
+shows, of soft-error exposure, because every extra fin is an extra
+charge-collection volume feeding the same strike current.
+
+Compares, per design:
+  * read/hold static noise margins,
+  * read-disturb bump and write delay,
+  * impulse critical charge (spoiler: identical -- it is set by the
+    storage-node capacitance, not the drive ratio),
+  * sensitive area and the resulting array POF.
+"""
+
+import numpy as np
+
+from repro import FlowConfig, SerFlow, SramCellDesign, get_particle
+from repro.sram import CharacterizationConfig
+from repro.sram.access import read_disturb_analysis, write_analysis
+from repro.sram.qcrit import nominal_critical_charge_c
+from repro.sram.snm import static_noise_margin_v
+
+
+def analyze(design, label, vdd=0.7):
+    flow = SerFlow(
+        FlowConfig(
+            particles=("alpha",),
+            vdd_list=(vdd,),
+            yield_trials_per_energy=8000,
+            characterization=CharacterizationConfig(
+                vdd_list=(vdd,), n_samples=120
+            ),
+            mc_particles_per_bin=30000,
+            n_energy_bins=4,
+        ),
+        design=design,
+    )
+    result = flow.pof_vs_energy("alpha", vdd, [2.0], 40000)[0]
+    return {
+        "label": label,
+        "hold_snm": static_noise_margin_v(design, vdd, "hold"),
+        "read_snm": static_noise_margin_v(design, vdd, "read"),
+        "qcrit": nominal_critical_charge_c(design, vdd),
+        "read_bump": read_disturb_analysis(design, vdd)["max_qb_bump_v"],
+        "write_delay": write_analysis(design, vdd)["write_delay_s"],
+        "sensitive_fins": flow.layout().sensitive_fin_count(),
+        "pof_hit": result.pof_total_given_hit,
+        "mbu_seu": result.mbu_to_seu_ratio,
+    }
+
+
+def main():
+    dense = analyze(SramCellDesign(), "1-1-1 dense")
+    stable = analyze(SramCellDesign(nfin_pd=2), "1-2-1 read-stable")
+
+    print(f"{'metric':<28s} {'1-1-1 dense':>14s} {'1-2-1 stable':>14s}")
+    rows = [
+        ("hold SNM [mV]", "hold_snm", 1e3),
+        ("read SNM [mV]", "read_snm", 1e3),
+        ("read qb bump [mV]", "read_bump", 1e3),
+        ("write delay [ps]", "write_delay", 1e12),
+        ("impulse Qcrit [fC]", "qcrit", 1e15),
+        ("sensitive fins (9x9)", "sensitive_fins", 1),
+        ("alpha POF|hit @2MeV", "pof_hit", 1),
+        ("MBU/SEU", "mbu_seu", 1),
+    ]
+    for label, key, scale in rows:
+        print(
+            f"{label:<28s} {dense[key] * scale:>14.4g} "
+            f"{stable[key] * scale:>14.4g}"
+        )
+
+    print(
+        "\nTakeaway: the read-stability upsizing buys noise margin but\n"
+        "not strike immunity -- Qcrit is capacitance-limited while the\n"
+        "sensitive cross-section grows with every added fin."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""From the paper's MBU rates to an ECC/interleaving decision.
+
+The paper stops at the physics: alpha MBU/SEU is 6-7 %.  This study
+carries that result to the architectural question it raises -- how far
+must word bits be physically interleaved so SEC-DED survives the MBUs?
+
+Steps:
+1. run the flow for the SEU/MBU FIT decomposition (paper eqs. 5-6),
+2. collect the failing-pair *offset* statistics (which cells fail
+   together, and where they sit relative to each other),
+3. evaluate uncorrectable-failure rates for ECC schemes x interleave
+   distances.
+"""
+
+import numpy as np
+
+from repro import FlowConfig, SerFlow, get_particle
+from repro.reliability.ecc import DEC_TED, NO_ECC, SEC_DED, word_failure_rates
+from repro.ser import collect_pair_offsets
+from repro.sram import CharacterizationConfig
+
+
+def main():
+    vdd = 0.7
+    flow = SerFlow(
+        FlowConfig(
+            vdd_list=(vdd,),
+            yield_trials_per_energy=10000,
+            characterization=CharacterizationConfig(
+                vdd_list=(vdd,), n_samples=150
+            ),
+            mc_particles_per_bin=40000,
+            n_energy_bins=5,
+        ),
+        cache_dir=".repro-cache",
+    )
+
+    print("Step 1: SEU/MBU decomposition (alpha, Vdd = 0.7 V) ...")
+    fit = flow.fit("alpha", vdd)
+    print(
+        f"  SEU = {fit.fit_seu:.4g} FIT, MBU = {fit.fit_mbu:.4g} FIT "
+        f"(MBU/SEU = {100 * fit.mbu_to_seu_ratio:.1f}%)"
+    )
+
+    print("\nStep 2: failing-pair offsets (60k alpha tracks @2 MeV) ...")
+    stats = collect_pair_offsets(
+        flow.simulator(),
+        get_particle("alpha"),
+        2.0,
+        vdd,
+        60000,
+        np.random.default_rng(3),
+    )
+    print("  top pair offsets (|d_row|, |d_col|) by expected rate:")
+    for key, rate in sorted(
+        stats.expected_pairs.items(), key=lambda kv: -kv[1]
+    )[:5]:
+        print(f"    {key}: {rate:.3e} pairs per launched particle")
+    print(
+        f"  same-row share: {stats.same_row_rate() / stats.total_pair_rate:.1%}; "
+        f"max column extent: {stats.max_column_extent()} cells"
+    )
+
+    print("\nStep 3: uncorrectable rate per architecture "
+          "(normalized to unprotected):")
+    base = word_failure_rates(fit, stats, NO_ECC, 1).uncorrectable_rate
+    print(f"  {'scheme':>8s} {'D':>3s} {'uncorrectable':>14s} {'gain':>9s}")
+    for scheme in (NO_ECC, SEC_DED, DEC_TED):
+        for distance in (1, 2, 4, 8):
+            analysis = word_failure_rates(fit, stats, scheme, distance)
+            rate = analysis.uncorrectable_rate / base if base > 0 else 0.0
+            gain = analysis.correction_gain
+            gain_text = f"{gain:9.1f}" if np.isfinite(gain) else "      inf"
+            print(
+                f"  {scheme.name:>8s} {distance:3d} {rate:14.3e} {gain_text}"
+            )
+
+    print(
+        "\nTakeaway: the measured MBU clusters are physically compact\n"
+        "(adjacent columns dominate), so even a 2-column interleave\n"
+        "recovers nearly the full SEC-DED protection the MBUs defeat\n"
+        "at interleave distance 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

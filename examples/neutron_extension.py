@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The paper's future work: neutron-induced (indirect ionization) SER.
+
+"The study of neutron radiation SER, which causes indirect ionization
+of materials, is our future work." -- this example runs that study with
+the library's neutron extension and compares all three species on one
+array.
+
+The interesting physics: sea-level neutron flux is ~10,000x the package
+alpha emission rate, but a neutron only matters if it reacts inside the
+tiny SOI fin (probability ~1e-7 per crossing).  The net effect for SOI
+FinFET SRAM: neutron SER lands far below alpha SER -- consistent with
+the published TCAD comparisons of FinFET vs planar neutron
+susceptibility (the paper's reference [12]).
+"""
+
+import numpy as np
+
+from repro import FlowConfig, SerFlow
+from repro.physics.neutron import (
+    NeutronInteractionModel,
+    SeaLevelNeutronSpectrum,
+)
+from repro.ser.neutron_mc import neutron_fit
+from repro.sram import CharacterizationConfig
+
+
+def main():
+    vdd_list = (0.7, 0.9, 1.1)
+    flow = SerFlow(
+        FlowConfig(
+            vdd_list=vdd_list,
+            yield_trials_per_energy=10000,
+            characterization=CharacterizationConfig(n_samples=150),
+            mc_particles_per_bin=30000,
+            n_energy_bins=5,
+        ),
+        cache_dir=".repro-cache",
+    )
+
+    spectrum = SeaLevelNeutronSpectrum()
+    print("Sea-level neutron flux above 1 MeV: "
+          f"{3600 * spectrum.integral_flux(1, 1000):.1f} n/(cm^2 h)")
+    model = NeutronInteractionModel()
+    print(
+        "Reaction probability per 30 nm fin crossing at 10 MeV: "
+        f"{model.reaction_probability(10.0, 30.0)[0]:.2e}"
+    )
+
+    print("\nRunning charged-particle flow (alpha, proton) ...")
+    sweep = flow.sweep()
+
+    print("Running neutron Monte Carlo ...")
+    rng = np.random.default_rng(11)
+    neutron_fits = {
+        vdd: neutron_fit(
+            flow.layout(), flow.pof_table(), vdd, 30000, rng, n_bins=5
+        )
+        for vdd in vdd_list
+    }
+
+    print("\n=== FIT by species (normalized to alpha at 0.7 V) ===")
+    reference = sweep.get("alpha", 0.7).fit_total
+    print("  Vdd     alpha    proton   neutron")
+    for vdd in vdd_list:
+        alpha = sweep.get("alpha", vdd).fit_total / reference
+        proton = sweep.get("proton", vdd).fit_total / reference
+        neutron = neutron_fits[vdd].fit_total / reference
+        print(f"  {vdd:.1f}  {alpha:9.4f} {proton:9.4f} {neutron:9.5f}")
+
+    print(
+        "\nTakeaways:\n"
+        "  * neutron SER is orders of magnitude below alpha for this\n"
+        "    SOI FinFET array (tiny sensitive volume -- cf. paper [12]);\n"
+        "  * unlike the charged species, the neutron rate barely moves\n"
+        "    with Vdd: every nuclear reaction deposits far more than\n"
+        "    Qcrit, so the rate is reaction-limited, not threshold-\n"
+        "    limited."
+    )
+
+
+if __name__ == "__main__":
+    main()

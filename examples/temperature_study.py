@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Junction-temperature study of the cell's robustness metrics.
+
+Extends the paper's room-temperature analysis across the industrial
+temperature range.  Two regimes fall out of the model:
+
+* **impulse-limit Qcrit is temperature-blind** -- for a symmetric
+  latch hit by a femtosecond pulse, the flip condition is crossing the
+  diagonal separatrix, i.e. Qcrit = C*Vdd exactly, no matter how weak
+  the hot devices are;
+* **everything rate-limited degrades when hot** -- read SNM, leakage,
+  and the finite-width (ps-scale collection) critical charge all move
+  against the designer as the junction heats.
+"""
+
+import numpy as np
+
+from repro.baselines import CircuitLevelSerModel
+from repro.devices import default_tech, technology_at_temperature
+from repro.sram import SramCellDesign
+from repro.sram.access import read_disturb_analysis
+from repro.sram.qcrit import nominal_critical_charge_c
+from repro.sram.snm import static_noise_margin_v
+
+
+def main():
+    vdd = 0.8
+    print(f"6T cell at Vdd = {vdd} V across junction temperature")
+    print(
+        f"{'T [K]':>6s} {'Ion uA':>7s} {'Ioff nA':>8s} {'SS mV/dec':>10s} "
+        f"{'hold SNM':>9s} {'read SNM':>9s} {'Qcrit(imp)':>11s} "
+        f"{'Qcrit(5ps)':>11s} {'qb bump':>8s}"
+    )
+    for temp_k in (233.0, 300.0, 358.0, 398.0):
+        tech = technology_at_temperature(default_tech(), temp_k)
+        design = SramCellDesign(tech=tech)
+        impulse_qcrit = nominal_critical_charge_c(design, vdd)
+        pulse_qcrit = CircuitLevelSerModel(
+            design, pulse_width_s=5e-12
+        ).critical_charge_c(vdd)
+        hold = static_noise_margin_v(design, vdd, "hold")
+        read = static_noise_margin_v(design, vdd, "read")
+        disturb = read_disturb_analysis(design, vdd)
+        print(
+            f"{temp_k:6.0f} {tech.nmos.on_current(vdd) * 1e6:7.1f} "
+            f"{tech.nmos.off_current(vdd) * 1e9:8.2f} "
+            f"{tech.nmos.subthreshold_swing_mv_dec():10.1f} "
+            f"{hold * 1e3:8.1f}m {read * 1e3:8.1f}m "
+            f"{impulse_qcrit * 1e15:10.4f}f "
+            f"{pulse_qcrit * 1e15:10.4f}f "
+            f"{disturb['max_qb_bump_v'] * 1e3:7.1f}m"
+        )
+
+    print(
+        "\nReading the table:\n"
+        "  * the impulse-limit Qcrit column is flat: the fs strike of\n"
+        "    the paper's eq. 3 flips the cell on pure charge balance\n"
+        "    (Qcrit = C*Vdd), so the paper's room-temperature SER\n"
+        "    tables transfer directly across temperature;\n"
+        "  * the 5 ps-collection Qcrit and both noise margins degrade\n"
+        "    when hot -- technologies with slower charge collection\n"
+        "    (longer tau) do pick up a real temperature dependence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""repro -- radiation-induced soft-error analysis of SOI FinFET SRAMs.
+
+A faithful, fully open reimplementation of the cross-layer SER flow of
+Kiamehr, Osiecki, Tahoori and Nassif, "Radiation-Induced Soft Error
+Analysis of SRAMs in SOI FinFET Technology: A Device to Circuit
+Approach" (DAC 2014), including every substrate the flow needs:
+
+* a Monte Carlo particle-transport engine (Geant4 substitute) over the
+  3-D SOI fin stack (:mod:`repro.transport`, :mod:`repro.physics`,
+  :mod:`repro.geometry`),
+* a nonlinear MNA circuit simulator with a calibrated 14 nm FinFET
+  compact model (:mod:`repro.circuit`, :mod:`repro.devices`),
+* 6T SRAM cell characterization into POF LUTs with process-variation
+  Monte Carlo (:mod:`repro.sram`),
+* array-layout 3-D Monte Carlo, SEU/MBU decomposition and FIT-rate
+  integration (:mod:`repro.layout`, :mod:`repro.ser`),
+* the orchestrating cross-layer flow (:mod:`repro.core`) and figure
+  reproduction helpers (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import FlowConfig, SerFlow
+
+    flow = SerFlow(FlowConfig(mc_particles_per_bin=20000))
+    result = flow.fit("alpha", vdd_v=0.8)
+    print(result.fit_total, result.mbu_to_seu_ratio)
+"""
+
+from .core import DEFAULT_ENERGY_RANGES, FlowConfig, SerFlow
+from .devices import FinFETModel, TechnologyCard, VariationModel, default_tech
+from .errors import (
+    CharacterizationError,
+    CircuitError,
+    ConfigError,
+    ConvergenceError,
+    GeometryError,
+    PhysicsError,
+    ReproError,
+    SerializationError,
+)
+from .geometry import FinGeometry, SoiFinWorld
+from .layout import CellLayout, SramArrayLayout
+from .physics import (
+    ALPHA,
+    PROTON,
+    AlphaEmissionSpectrum,
+    SeaLevelProtonSpectrum,
+    get_particle,
+)
+from .sram import (
+    CharacterizationConfig,
+    PofTable,
+    SramCellDesign,
+    StrikeScenario,
+    characterize_cell,
+)
+from .ser import (
+    ArrayMcConfig,
+    ArrayPofResult,
+    ArraySerSimulator,
+    FitResult,
+    SerSweep,
+    integrate_fit,
+)
+from .transport import ElectronYieldLUT, TransportConfig, TransportEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # flow
+    "SerFlow",
+    "FlowConfig",
+    "DEFAULT_ENERGY_RANGES",
+    # devices / technology
+    "FinFETModel",
+    "TechnologyCard",
+    "default_tech",
+    "VariationModel",
+    # physics / transport
+    "ALPHA",
+    "PROTON",
+    "get_particle",
+    "SeaLevelProtonSpectrum",
+    "AlphaEmissionSpectrum",
+    "TransportEngine",
+    "TransportConfig",
+    "ElectronYieldLUT",
+    "FinGeometry",
+    "SoiFinWorld",
+    # cell level
+    "SramCellDesign",
+    "CharacterizationConfig",
+    "characterize_cell",
+    "PofTable",
+    "StrikeScenario",
+    # array level
+    "CellLayout",
+    "SramArrayLayout",
+    "ArraySerSimulator",
+    "ArrayMcConfig",
+    "ArrayPofResult",
+    "FitResult",
+    "SerSweep",
+    "integrate_fit",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "GeometryError",
+    "PhysicsError",
+    "CircuitError",
+    "ConvergenceError",
+    "CharacterizationError",
+    "SerializationError",
+]

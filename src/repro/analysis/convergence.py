@@ -1,0 +1,97 @@
+"""Monte Carlo convergence diagnostics.
+
+The paper runs 1e7 trials per point; users on laptops need to know how
+few they can get away with.  These helpers estimate the statistical
+error of an array-MC POF by batching, and size a campaign for a target
+precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..physics import ParticleType
+from ..ser import ArraySerSimulator
+
+
+@dataclass(frozen=True)
+class ConvergenceEstimate:
+    """Batched MC error estimate for one campaign point.
+
+    Attributes
+    ----------
+    mean_pof:
+        Mean of the per-batch POF estimates.
+    standard_error:
+        Standard error of the overall mean (batch std / sqrt(batches)).
+    n_particles / n_batches:
+        Total campaign size and how it was split.
+    """
+
+    mean_pof: float
+    standard_error: float
+    n_particles: int
+    n_batches: int
+
+    @property
+    def relative_error(self) -> float:
+        """SE / mean (inf when the mean is 0 -- no upsets observed)."""
+        if self.mean_pof <= 0:
+            return float("inf")
+        return self.standard_error / self.mean_pof
+
+    def particles_for_relative_error(self, target: float) -> int:
+        """Campaign size for a target relative SE (1/sqrt(n) scaling)."""
+        if target <= 0:
+            raise ConfigError("target relative error must be positive")
+        current = self.relative_error
+        if not math.isfinite(current):
+            raise ConfigError(
+                "no upsets observed -- cannot extrapolate; run a larger pilot"
+            )
+        scale = (current / target) ** 2
+        return int(math.ceil(self.n_particles * scale))
+
+
+def estimate_pof_error(
+    simulator: ArraySerSimulator,
+    particle: ParticleType,
+    energy_mev: float,
+    vdd_v: float,
+    n_particles: int,
+    rng: np.random.Generator,
+    n_batches: int = 10,
+) -> ConvergenceEstimate:
+    """Batched standard error of the total-POF estimate.
+
+    Splits the campaign into ``n_batches`` independent sub-campaigns and
+    reports the spread of their estimates -- the honest MC error bar,
+    including all correlation induced inside one batch.
+    """
+    if n_batches < 2:
+        raise ConfigError("need at least two batches for an error estimate")
+    per_batch = n_particles // n_batches
+    if per_batch < 1:
+        raise ConfigError("need at least one particle per batch")
+
+    estimates = np.array(
+        [
+            simulator.run(particle, energy_mev, vdd_v, per_batch, rng).pof_total
+            for _ in range(n_batches)
+        ]
+    )
+    mean = float(np.mean(estimates))
+    standard_error = float(
+        np.std(estimates, ddof=1) / math.sqrt(n_batches)
+    )
+    return ConvergenceEstimate(
+        mean_pof=mean,
+        standard_error=standard_error,
+        n_particles=per_batch * n_batches,
+        n_batches=n_batches,
+    )

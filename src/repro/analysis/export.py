@@ -1,0 +1,113 @@
+"""CSV export of the reproduced figure series.
+
+``repro-ser figures`` writes one CSV per paper figure so users can plot
+with their tool of choice (the library deliberately has no plotting
+dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..core import SerFlow
+from .figures import (
+    Series,
+    fig2a_proton_spectrum,
+    fig2b_alpha_spectrum,
+    fig4_electron_yield,
+    fig8_pof_vs_energy,
+    fig9_fit_vs_vdd,
+    fig10_mbu_seu,
+)
+
+
+def _write_series_csv(path: Path, x_name: str, series_list) -> Path:
+    """One CSV: first column x, one column per series."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # series may have different x grids; require a shared grid
+    reference = series_list[0].x
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_name] + [s.label for s in series_list])
+        for i, x in enumerate(reference):
+            writer.writerow(
+                [f"{x:.8g}"]
+                + [
+                    f"{s.y[i]:.8g}" if i < len(s.y) else ""
+                    for s in series_list
+                ]
+            )
+    return path
+
+
+def export_figures(
+    flow: SerFlow,
+    out_dir: Union[str, Path],
+    sweep=None,
+    pof_energy_particles: Optional[int] = None,
+) -> Dict[str, Path]:
+    """Regenerate every figure series and write CSVs.
+
+    Parameters
+    ----------
+    flow:
+        A configured flow (LUTs are built on demand).
+    out_dir:
+        Output directory for the CSVs.
+    sweep:
+        Optional precomputed :class:`~repro.ser.SerSweep` (runs the
+        full campaign when omitted).
+    pof_energy_particles:
+        MC particles per Fig. 8 energy point (flow default if None).
+
+    Returns
+    -------
+    dict
+        Figure id -> written path.
+    """
+    out = Path(out_dir)
+    written: Dict[str, Path] = {}
+
+    written["fig2a"] = _write_series_csv(
+        out / "fig2a_proton_spectrum.csv",
+        "energy_mev",
+        [fig2a_proton_spectrum()],
+    )
+    written["fig2b"] = _write_series_csv(
+        out / "fig2b_alpha_spectrum.csv",
+        "energy_mev",
+        [fig2b_alpha_spectrum()],
+    )
+
+    luts = flow.yield_luts()
+    if "alpha" in luts and "proton" in luts:
+        alpha_series, proton_series = fig4_electron_yield(luts)
+        written["fig4_alpha"] = _write_series_csv(
+            out / "fig4_yield_alpha.csv", "energy_mev", [alpha_series]
+        )
+        written["fig4_proton"] = _write_series_csv(
+            out / "fig4_yield_proton.csv", "energy_mev", [proton_series]
+        )
+
+    series_map = fig8_pof_vs_energy(
+        flow, n_particles=pof_energy_particles
+    )
+    for (particle, vdd), series in sorted(series_map.items()):
+        key = f"fig8_{particle}_{vdd:.1f}"
+        written[key] = _write_series_csv(
+            out / f"{key}.csv", "energy_mev", [series]
+        )
+
+    if sweep is None:
+        sweep = flow.sweep()
+    for particle, series in fig9_fit_vs_vdd(sweep).items():
+        written[f"fig9_{particle}"] = _write_series_csv(
+            out / f"fig9_fit_{particle}.csv", "vdd_v", [series]
+        )
+    for particle, series in fig10_mbu_seu(sweep).items():
+        written[f"fig10_{particle}"] = _write_series_csv(
+            out / f"fig10_mbu_seu_{particle}.csv", "vdd_v", [series]
+        )
+    return written

@@ -1,0 +1,136 @@
+"""Series generators for every figure of the paper's evaluation.
+
+Each function returns the plain numpy series behind one published
+figure, normalized the way the paper normalizes it.  The benchmark
+harness prints these and asserts the paper's qualitative claims; the
+examples plot/print them for users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import SerFlow
+from ..physics import AlphaEmissionSpectrum, SeaLevelProtonSpectrum
+from ..transport import ElectronYieldLUT
+from .normalize import normalized
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labeled (x, y) curve."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+
+def fig2a_proton_spectrum(n_points: int = 60) -> Series:
+    """Fig. 2(a): sea-level differential proton intensity."""
+    spectrum = SeaLevelProtonSpectrum()
+    energies = np.logspace(0, 7, n_points)
+    return Series(
+        "proton intensity [1/(m^2 s sr MeV)]",
+        energies,
+        spectrum.intensity(energies),
+    )
+
+
+def fig2b_alpha_spectrum(n_points: int = 200) -> Series:
+    """Fig. 2(b): package alpha emission spectrum."""
+    spectrum = AlphaEmissionSpectrum()
+    energies = np.linspace(0.1, 10.0, n_points)
+    return Series(
+        "alpha emission [1/(cm^2 s MeV)]",
+        energies,
+        spectrum.differential_flux(energies),
+    )
+
+
+def fig4_electron_yield(
+    luts: Dict[str, ElectronYieldLUT]
+) -> Tuple[Series, Series]:
+    """Fig. 4: normalized mean electron count per fin crossing.
+
+    Normalization is joint (both curves divided by the same peak) so
+    the alpha/proton ratio is preserved, as in the paper's figure.
+    """
+    alpha = luts["alpha"]
+    proton = luts["proton"]
+    peak = max(float(np.max(alpha.mean_pairs)), float(np.max(proton.mean_pairs)))
+    return (
+        Series("alpha", alpha.energies_mev.copy(), alpha.mean_pairs / peak),
+        Series("proton", proton.energies_mev.copy(), proton.mean_pairs / peak),
+    )
+
+
+def fig8_pof_vs_energy(
+    flow: SerFlow,
+    vdd_values: Sequence[float] = (0.7, 0.8),
+    energies_mev: Optional[Sequence[float]] = None,
+    n_particles: Optional[int] = None,
+) -> Dict[Tuple[str, float], Series]:
+    """Fig. 8: array POF (given a layout hit) vs particle energy.
+
+    Returns one series per (particle, vdd), all normalized by the
+    common peak as the paper's single-axis plot implies.
+    """
+    energies = (
+        np.asarray(energies_mev, dtype=np.float64)
+        if energies_mev is not None
+        else np.logspace(-1, 2, 7)
+    )
+    raw: Dict[Tuple[str, float], np.ndarray] = {}
+    for particle in flow.config.particles:
+        for vdd in vdd_values:
+            results = flow.pof_vs_energy(particle, vdd, energies, n_particles)
+            raw[(particle, vdd)] = np.array(
+                [r.pof_total_given_hit for r in results]
+            )
+    peak = max(float(np.max(v)) for v in raw.values())
+    peak = peak if peak > 0 else 1.0
+    return {
+        key: Series(f"{key[0]} vdd={key[1]}", energies.copy(), values / peak)
+        for key, values in raw.items()
+    }
+
+
+def fig9_fit_vs_vdd(sweep) -> Dict[str, Series]:
+    """Fig. 9: normalized FIT vs Vdd per particle (joint normalization)."""
+    peak = 0.0
+    series = {}
+    for particle in sweep.particles():
+        vdds, fits = sweep.fit_series(particle)
+        series[particle] = (vdds, fits)
+        peak = max(peak, float(np.max(fits)))
+    peak = peak if peak > 0 else 1.0
+    return {
+        particle: Series(particle, vdds, fits / peak)
+        for particle, (vdds, fits) in series.items()
+    }
+
+
+def fig10_mbu_seu(sweep) -> Dict[str, Series]:
+    """Fig. 10: MBU/SEU percentage vs Vdd per particle."""
+    result = {}
+    for particle in sweep.particles():
+        vdds, ratios = sweep.mbu_seu_series(particle)
+        result[particle] = Series(particle, vdds, 100.0 * ratios)
+    return result
+
+
+def fig11_process_variation(
+    sweep_with_pv, sweep_without_pv, particle: str = "alpha"
+) -> Tuple[Series, Series]:
+    """Fig. 11: SER with vs without PV (normalized by the PV peak)."""
+    vdds, fits_pv = sweep_with_pv.fit_series(particle)
+    _, fits_nom = sweep_without_pv.fit_series(particle)
+    peak = float(np.max(fits_pv))
+    peak = peak if peak > 0 else 1.0
+    return (
+        Series("considering PV", vdds, fits_pv / peak),
+        Series("neglecting PV", vdds, fits_nom / peak),
+    )

@@ -1,0 +1,57 @@
+"""Normalization and shape-check helpers for reproduced series.
+
+The paper presents every result normalized; quantitative comparison
+therefore happens on *shapes*: monotonicity, ratios, crossovers.  The
+checks here are shared by the test suite and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+def normalized(values, reference: str = "max") -> np.ndarray:
+    """Scale a series so its ``max``/``first``/``last`` equals 1."""
+    values = np.asarray(values, dtype=np.float64)
+    if reference == "max":
+        scale = float(np.max(values))
+    elif reference == "first":
+        scale = float(values[0])
+    elif reference == "last":
+        scale = float(values[-1])
+    else:
+        raise ConfigError(f"unknown normalization reference {reference!r}")
+    if scale <= 0:
+        raise ConfigError("cannot normalize a non-positive series")
+    return values / scale
+
+
+def is_monotone_decreasing(values, tolerance: float = 0.0) -> bool:
+    """True when each step decreases (up to an absolute tolerance)."""
+    values = np.asarray(values, dtype=np.float64)
+    return bool(np.all(np.diff(values) <= tolerance))
+
+
+def is_monotone_increasing(values, tolerance: float = 0.0) -> bool:
+    """True when each step increases (up to an absolute tolerance)."""
+    values = np.asarray(values, dtype=np.float64)
+    return bool(np.all(np.diff(values) >= -tolerance))
+
+
+def dominance_factor(series_a, series_b) -> np.ndarray:
+    """Pointwise ratio a/b (inf where b is 0 and a is not)."""
+    a = np.asarray(series_a, dtype=np.float64)
+    b = np.asarray(series_b, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(b > 0, a / np.where(b > 0, b, 1.0), np.inf)
+    return np.where((a == 0) & (b == 0), 1.0, ratio)
+
+
+def decades_of_decrease(values) -> float:
+    """log10(first/last) -- how many decades a series falls over its range."""
+    values = np.asarray(values, dtype=np.float64)
+    if values[0] <= 0 or values[-1] <= 0:
+        raise ConfigError("series endpoints must be positive")
+    return float(np.log10(values[0] / values[-1]))

@@ -1,0 +1,12 @@
+"""Baseline SER estimators from the paper's related work.
+
+The paper positions its cross-layer flow against circuit-level-only
+approaches ([14], [17]): extract the cell's critical charge with a
+double-exponential current source and fold it into an empirical SER
+formula.  :mod:`repro.baselines.circuit_level` implements that
+approach so the two can be compared on the same technology card.
+"""
+
+from .circuit_level import CircuitLevelSerModel
+
+__all__ = ["CircuitLevelSerModel"]

@@ -1,0 +1,63 @@
+"""A compact SPICE-substitute: netlists, MNA, DC and transient analysis."""
+
+from .dc import DcSolution, solve_dc
+from .elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    FinFET,
+    Resistor,
+    VoltageSource,
+)
+from .mna import MnaSystem
+from .netlist import Circuit, CompiledCircuit
+from .spice_io import (
+    circuit_to_spice,
+    read_spice,
+    spice_to_circuit,
+    write_spice,
+)
+from .transient import (
+    TransientResult,
+    make_strike_time_grid,
+    make_time_grid,
+    run_transient,
+)
+from .waveform import (
+    Dc,
+    DoubleExponential,
+    Pwl,
+    RectPulse,
+    TriangularPulse,
+    Waveform,
+    pulse_from_charge,
+)
+
+__all__ = [
+    "Circuit",
+    "CompiledCircuit",
+    "circuit_to_spice",
+    "spice_to_circuit",
+    "write_spice",
+    "read_spice",
+    "MnaSystem",
+    "solve_dc",
+    "DcSolution",
+    "run_transient",
+    "TransientResult",
+    "make_time_grid",
+    "make_strike_time_grid",
+    "Resistor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "FinFET",
+    "GROUND",
+    "Waveform",
+    "Dc",
+    "RectPulse",
+    "TriangularPulse",
+    "DoubleExponential",
+    "Pwl",
+    "pulse_from_charge",
+]

@@ -1,0 +1,181 @@
+"""DC operating-point solver (Newton with gmin stepping and damping).
+
+For bistable circuits (an SRAM cell has two stable states plus a
+metastable saddle) Newton converges to the equilibrium nearest the
+initial guess, so callers select a state by passing ``initial_guess``
+node voltages -- exactly how a SPICE ``.nodeset`` is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .mna import MnaSystem
+from .netlist import Circuit, CompiledCircuit
+
+#: gmin homotopy schedule [S]; the final 0.0 solves the true system.
+_GMIN_SCHEDULE = (1.0e-3, 1.0e-5, 1.0e-7, 1.0e-9, 1.0e-12, 0.0)
+
+#: Per-iteration Newton voltage-step clamp [V] -- tames the exponential
+#: subthreshold region.
+_MAX_STEP_V = 0.3
+
+
+class DcSolution:
+    """Solved operating point with named node access."""
+
+    def __init__(self, compiled: CompiledCircuit, solution: np.ndarray):
+        self._compiled = compiled
+        self._solution = solution
+
+    def voltage(self, node_name: str) -> float:
+        """Node voltage [V] (ground is 0 by definition)."""
+        index = self._compiled.voltage_index(node_name)
+        return MnaSystem.voltage_at(self._solution, index)
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages by name."""
+        return {
+            name: self.voltage(name)
+            for name in self._compiled.circuit.node_names
+        }
+
+    def branch_current(self, vsource_name: str) -> float:
+        """Current through a voltage source [A] (positive into + node)."""
+        for row, src in enumerate(self._compiled.vsources):
+            if src.name == vsource_name:
+                return float(self._solution[self._compiled.n_nodes + row])
+        from ..errors import CircuitError
+
+        raise CircuitError(f"no voltage source named {vsource_name!r}")
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The raw MNA solution vector (nodes then branch currents)."""
+        return self._solution.copy()
+
+
+def _assemble(
+    compiled: CompiledCircuit,
+    v_guess,
+    time_s,
+    gmin,
+    gmin_targets=None,
+    source_interval=None,
+):
+    system = MnaSystem(compiled.n_nodes, compiled.n_vsources)
+    index = compiled.node_index
+    for resistor in compiled.resistors:
+        resistor.stamp_static(system, index)
+    for row, vsource in enumerate(compiled.vsources):
+        vsource.stamp_source(system, index, row, time_s)
+    for isource in compiled.isources:
+        if source_interval is not None:
+            # transient: deliver the exact waveform charge per step
+            isource.stamp_average(system, index, *source_interval)
+        else:
+            isource.stamp_source(system, index, time_s)
+    for finfet in compiled.finfets:
+        finfet.stamp_nonlinear(system, index, v_guess)
+    if gmin > 0:
+        system.add_gmin(gmin, targets=gmin_targets)
+    return system
+
+
+def _newton(
+    compiled: CompiledCircuit,
+    v_start: np.ndarray,
+    time_s: float,
+    gmin: float,
+    max_iterations: int,
+    tolerance_v: float,
+    stamp_extra=None,
+    gmin_targets=None,
+    source_interval=None,
+):
+    """Damped Newton iteration; returns the converged solution vector.
+
+    The per-iteration voltage clamp exists to tame the exponential
+    subthreshold region of the FinFET stamps; a circuit with no
+    nonlinear devices is solved exactly in one step, and clamping that
+    step would only slow (or, for solutions many volts away, prevent)
+    convergence -- so damping applies only when FinFETs are present.
+    """
+    damped = len(compiled.finfets) > 0
+    v = v_start.copy()
+    for iteration in range(max_iterations):
+        system = _assemble(
+            compiled, v, time_s, gmin, gmin_targets, source_interval
+        )
+        if stamp_extra is not None:
+            stamp_extra(system, v)
+        v_new = system.solve()
+        delta = v_new - v
+        max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if damped and max_delta > _MAX_STEP_V:
+            v = v + delta * (_MAX_STEP_V / max_delta)
+            continue
+        v = v_new
+        if max_delta < tolerance_v:
+            return v, iteration + 1
+    raise ConvergenceError(
+        f"Newton failed after {max_iterations} iterations "
+        f"(last |dV| = {max_delta:.3e} V)",
+        iterations=max_iterations,
+        residual=max_delta,
+    )
+
+
+def solve_dc(
+    circuit: Circuit,
+    initial_guess: Optional[Dict[str, float]] = None,
+    time_s: float = 0.0,
+    max_iterations: int = 200,
+    tolerance_v: float = 1.0e-9,
+) -> DcSolution:
+    """Find a DC operating point.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist (capacitors are open at DC).
+    initial_guess:
+        Node-name -> volts nodeset steering Newton toward the wanted
+        equilibrium of a multistable circuit.
+    time_s:
+        Time at which source waveforms are evaluated (default 0).
+    """
+    compiled = circuit.compile()
+    v = np.zeros(compiled.size, dtype=np.float64)
+    if initial_guess:
+        for name, volts in initial_guess.items():
+            idx = compiled.voltage_index(name)
+            if idx >= 0:
+                v[idx] = float(volts)
+
+    # gmin pulls every node toward its nodeset value (0 when unset):
+    # this keeps the continuation on the caller-selected equilibrium
+    # branch of multistable circuits (an SRAM cell has three).
+    gmin_targets = v[: compiled.n_nodes].copy()
+    last_error = None
+    for gmin in _GMIN_SCHEDULE:
+        try:
+            v, _ = _newton(
+                compiled,
+                v,
+                time_s,
+                gmin,
+                max_iterations,
+                tolerance_v,
+                gmin_targets=gmin_targets,
+            )
+            last_error = None
+        except ConvergenceError as exc:
+            last_error = exc
+            continue
+    if last_error is not None:
+        raise last_error
+    return DcSolution(compiled, v)

@@ -1,0 +1,213 @@
+"""Circuit elements and their MNA stamps.
+
+Elements reference nodes by *name*; index resolution happens when a
+:class:`~repro.circuit.netlist.Circuit` is compiled.  Each element
+implements the subset of the stamp API it participates in:
+
+* ``stamp_static``      -- linear resistive contributions (R),
+* ``stamp_source``      -- time-dependent independent sources (V, I),
+* ``stamp_companion``   -- charge-storage companion models (C),
+* ``stamp_nonlinear``   -- Newton linearization (FinFET).
+
+Sign conventions
+----------------
+* :class:`CurrentSource` drives ``value(t)`` amperes *out of*
+  ``node_from`` and *into* ``node_to``.
+* A FinFET's ``ids`` is the current flowing drain -> source through the
+  channel (see :mod:`repro.devices.finfet`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..devices.finfet import FinFETModel
+from ..errors import CircuitError
+from .waveform import Dc, Waveform
+
+GROUND = "0"
+
+
+def _as_waveform(value) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return Dc(float(value))
+
+
+@dataclass
+class Resistor:
+    """Linear resistor between two nodes [ohm]."""
+
+    name: str
+    node_a: str
+    node_b: str
+    resistance_ohm: float
+
+    def __post_init__(self):
+        if self.resistance_ohm <= 0:
+            raise CircuitError(f"resistor {self.name}: resistance must be positive")
+
+    def stamp_static(self, system, index):
+        g = 1.0 / self.resistance_ohm
+        a = index[self.node_a]
+        b = index[self.node_b]
+        system.add_conductance(a, b, g)
+
+
+@dataclass
+class Capacitor:
+    """Linear capacitor between two nodes [F].
+
+    Transient integration uses the standard companion models:
+    backward-Euler ``G = C/h`` and trapezoidal ``G = 2C/h``.
+    """
+
+    name: str
+    node_a: str
+    node_b: str
+    capacitance_f: float
+
+    def __post_init__(self):
+        if self.capacitance_f <= 0:
+            raise CircuitError(f"capacitor {self.name}: capacitance must be positive")
+
+    def stamp_companion(self, system, index, dt, v_prev, i_prev, method):
+        a = index[self.node_a]
+        b = index[self.node_b]
+        v_ab_prev = system.voltage_between(v_prev, a, b)
+        if method == "be":
+            g = self.capacitance_f / dt
+            i_eq = g * v_ab_prev
+        elif method == "trap":
+            g = 2.0 * self.capacitance_f / dt
+            i_eq = g * v_ab_prev + i_prev
+        else:
+            raise CircuitError(f"unknown integration method {method!r}")
+        system.add_conductance(a, b, g)
+        # companion current source pushes i_eq from b into a
+        system.add_current(a, i_eq)
+        system.add_current(b, -i_eq)
+        return g
+
+    def branch_current(self, g, v_now, i_eq_components):
+        """Device current through the capacitor after a solved step."""
+        v_ab_now, i_eq = i_eq_components
+        return g * v_ab_now - i_eq
+
+
+@dataclass
+class VoltageSource:
+    """Independent voltage source (adds one MNA branch unknown)."""
+
+    name: str
+    node_pos: str
+    node_neg: str
+    waveform: Waveform
+
+    def __init__(self, name, node_pos, node_neg, value):
+        self.name = name
+        self.node_pos = node_pos
+        self.node_neg = node_neg
+        self.waveform = _as_waveform(value)
+
+    def stamp_source(self, system, index, branch_row, time_s):
+        p = index[self.node_pos]
+        n = index[self.node_neg]
+        system.add_branch(branch_row, p, n)
+        system.set_branch_value(branch_row, float(self.waveform.value(time_s)))
+
+
+@dataclass
+class CurrentSource:
+    """Independent current source: ``value(t)`` flows from -> to."""
+
+    name: str
+    node_from: str
+    node_to: str
+    waveform: Waveform
+
+    def __init__(self, name, node_from, node_to, value):
+        self.name = name
+        self.node_from = node_from
+        self.node_to = node_to
+        self.waveform = _as_waveform(value)
+
+    def stamp_source(self, system, index, time_s):
+        i = float(self.waveform.value(time_s))
+        system.add_current(index[self.node_from], -i)
+        system.add_current(index[self.node_to], i)
+
+    def stamp_average(self, system, index, t0_s, t1_s):
+        """Stamp the step-average current: exact charge per step.
+
+        A fixed time grid can straddle fast pulse edges; stamping
+        ``charge_between / dt`` guarantees the delivered charge matches
+        the waveform integral no matter how the grid aligns (critical
+        for the femtosecond strike pulses of the paper's eq. 3).
+        """
+        dt = t1_s - t0_s
+        i = self.waveform.charge_between(t0_s, t1_s) / dt if dt > 0 else 0.0
+        system.add_current(index[self.node_from], -i)
+        system.add_current(index[self.node_to], i)
+
+
+@dataclass
+class FinFET:
+    """A FinFET instance: three terminals + model card.
+
+    ``nfin`` multiplies the per-fin model current; ``vth_shift_v``
+    injects per-device process variation.  Gate capacitance is *not*
+    stamped here -- netlist builders add explicit capacitors (keeps the
+    nonlinear stamp purely resistive and the charge bookkeeping
+    transparent).
+    """
+
+    name: str
+    drain: str
+    gate: str
+    source: str
+    model: FinFETModel
+    nfin: int = 1
+    vth_shift_v: float = 0.0
+
+    def __post_init__(self):
+        if self.nfin < 1:
+            raise CircuitError(f"finfet {self.name}: nfin must be >= 1")
+
+    _DELTA_V = 1.0e-6
+
+    def current(self, vd, vg, vs) -> float:
+        """Drain->source current at a bias point [A]."""
+        return self.nfin * float(
+            self.model.ids(vd, vg, vs, vth_shift=self.vth_shift_v)
+        )
+
+    def stamp_nonlinear(self, system, index, v_guess):
+        """Newton linearization around the iterate ``v_guess``."""
+        d = index[self.drain]
+        g = index[self.gate]
+        s = index[self.source]
+        vd = system.voltage_at(v_guess, d)
+        vg = system.voltage_at(v_guess, g)
+        vs = system.voltage_at(v_guess, s)
+
+        i0 = self.current(vd, vg, vs)
+        h = self._DELTA_V
+        gd = (self.current(vd + h, vg, vs) - self.current(vd - h, vg, vs)) / (2 * h)
+        gm = (self.current(vd, vg + h, vs) - self.current(vd, vg - h, vs)) / (2 * h)
+        gs = (self.current(vd, vg, vs + h) - self.current(vd, vg, vs - h)) / (2 * h)
+
+        # i(v) ~ i0 + gd dVd + gm dVg + gs dVs ; current leaves drain,
+        # enters source.
+        i_lin = i0 - gd * vd - gm * vg - gs * vs
+        system.add_jacobian(d, d, gd)
+        system.add_jacobian(d, g, gm)
+        system.add_jacobian(d, s, gs)
+        system.add_jacobian(s, d, -gd)
+        system.add_jacobian(s, g, -gm)
+        system.add_jacobian(s, s, -gs)
+        system.add_current(d, -i_lin)
+        system.add_current(s, i_lin)

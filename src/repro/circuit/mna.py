@@ -1,0 +1,95 @@
+"""Dense Modified-Nodal-Analysis system assembly.
+
+:class:`MnaSystem` is a scratch (A, b) pair with ground-aware stamping
+helpers.  Circuits here are tiny (a 6T cell is ~10 unknowns), so dense
+numpy assembly + ``numpy.linalg.solve`` is both simplest and fastest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+
+
+class MnaSystem:
+    """Dense ``A x = b`` with ground handling (index -1 is discarded)."""
+
+    def __init__(self, n_nodes: int, n_branches: int):
+        self.n_nodes = n_nodes
+        self.n_branches = n_branches
+        self.size = n_nodes + n_branches
+        self.matrix = np.zeros((self.size, self.size), dtype=np.float64)
+        self.rhs = np.zeros(self.size, dtype=np.float64)
+
+    # -- stamping helpers ---------------------------------------------------
+
+    def add_conductance(self, a: int, b: int, g: float):
+        """Stamp a two-terminal conductance between node indices a, b."""
+        if a >= 0:
+            self.matrix[a, a] += g
+        if b >= 0:
+            self.matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= g
+            self.matrix[b, a] -= g
+
+    def add_jacobian(self, row: int, col: int, value: float):
+        """Stamp a raw Jacobian entry (nonlinear device linearization)."""
+        if row >= 0 and col >= 0:
+            self.matrix[row, col] += value
+
+    def add_current(self, node: int, value: float):
+        """Inject ``value`` amperes *into* a node (RHS contribution)."""
+        if node >= 0:
+            self.rhs[node] += value
+
+    def add_branch(self, branch_row: int, pos: int, neg: int):
+        """Wire a voltage-source branch: KCL couplings + KVL row."""
+        row = self.n_nodes + branch_row
+        if row >= self.size:
+            raise CircuitError("branch row out of range")
+        if pos >= 0:
+            self.matrix[pos, row] += 1.0
+            self.matrix[row, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, row] -= 1.0
+            self.matrix[row, neg] -= 1.0
+
+    def set_branch_value(self, branch_row: int, volts: float):
+        """Set the KVL right-hand side of a voltage-source branch."""
+        self.rhs[self.n_nodes + branch_row] = volts
+
+    def add_gmin(self, gmin: float, targets=None):
+        """Add a small conductance on every node (homotopy aid).
+
+        With ``targets`` (length ``n_nodes``), each node is pulled
+        toward its target voltage instead of toward ground -- this
+        preserves nodeset-selected equilibria of multistable circuits
+        through the gmin continuation.
+        """
+        for i in range(self.n_nodes):
+            self.matrix[i, i] += gmin
+            if targets is not None:
+                self.rhs[i] += gmin * float(targets[i])
+
+    # -- solution helpers ---------------------------------------------------
+
+    @staticmethod
+    def voltage_at(solution: np.ndarray, node: int) -> float:
+        """Voltage of a node index in a solution vector (ground = 0)."""
+        return 0.0 if node < 0 else float(solution[node])
+
+    @staticmethod
+    def voltage_between(solution: np.ndarray, a: int, b: int) -> float:
+        """Voltage difference ``V(a) - V(b)``."""
+        va = 0.0 if a < 0 else float(solution[a])
+        vb = 0.0 if b < 0 else float(solution[b])
+        return va - vb
+
+    def solve(self) -> np.ndarray:
+        """Solve the assembled system (raises on singular matrices)."""
+        try:
+            return np.linalg.solve(self.matrix, self.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise CircuitError(f"singular MNA system: {exc}") from exc

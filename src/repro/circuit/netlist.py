@@ -1,0 +1,140 @@
+"""Netlist container and compilation to an MNA index space.
+
+A :class:`Circuit` is a bag of named elements over named nodes.
+``compile()`` freezes it into a :class:`CompiledCircuit` with dense
+index maps; the DC and transient solvers operate on the compiled form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import CircuitError
+from .elements import (
+    GROUND,
+    Capacitor,
+    CurrentSource,
+    FinFET,
+    Resistor,
+    VoltageSource,
+)
+
+
+class Circuit:
+    """A named collection of circuit elements.
+
+    Nodes are created implicitly the first time an element references
+    them; node ``"0"`` is ground.  Element names must be unique.
+    """
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: List[object] = []
+        self._element_names: set = set()
+        self._nodes: Dict[str, None] = {GROUND: None}
+
+    # -- construction -----------------------------------------------------
+
+    def _register(self, element, *nodes):
+        if element.name in self._element_names:
+            raise CircuitError(f"duplicate element name {element.name!r}")
+        self._element_names.add(element.name)
+        for node in nodes:
+            if not isinstance(node, str) or not node:
+                raise CircuitError(f"invalid node name {node!r}")
+            self._nodes.setdefault(node, None)
+        self._elements.append(element)
+        return element
+
+    def add_resistor(self, name, node_a, node_b, resistance_ohm) -> Resistor:
+        """Add a resistor [ohm]."""
+        return self._register(
+            Resistor(name, node_a, node_b, resistance_ohm), node_a, node_b
+        )
+
+    def add_capacitor(self, name, node_a, node_b, capacitance_f) -> Capacitor:
+        """Add a capacitor [F]."""
+        return self._register(
+            Capacitor(name, node_a, node_b, capacitance_f), node_a, node_b
+        )
+
+    def add_vsource(self, name, node_pos, node_neg, value) -> VoltageSource:
+        """Add a voltage source (constant or :class:`Waveform`)."""
+        return self._register(
+            VoltageSource(name, node_pos, node_neg, value), node_pos, node_neg
+        )
+
+    def add_isource(self, name, node_from, node_to, value) -> CurrentSource:
+        """Add a current source; ``value(t)`` flows from -> to."""
+        return self._register(
+            CurrentSource(name, node_from, node_to, value), node_from, node_to
+        )
+
+    def add_finfet(
+        self, name, drain, gate, source, model, nfin=1, vth_shift_v=0.0
+    ) -> FinFET:
+        """Add a FinFET instance (see :class:`repro.circuit.elements.FinFET`)."""
+        return self._register(
+            FinFET(name, drain, gate, source, model, nfin, vth_shift_v),
+            drain,
+            gate,
+            source,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def elements(self) -> List[object]:
+        """All elements in insertion order."""
+        return list(self._elements)
+
+    @property
+    def node_names(self) -> List[str]:
+        """All node names including ground."""
+        return list(self._nodes)
+
+    def element(self, name: str):
+        """Fetch an element by name."""
+        for el in self._elements:
+            if el.name == name:
+                return el
+        raise CircuitError(f"no element named {name!r}")
+
+    def compile(self) -> "CompiledCircuit":
+        """Freeze into an MNA-indexed form."""
+        return CompiledCircuit(self)
+
+
+class CompiledCircuit:
+    """A circuit with resolved MNA indices.
+
+    Index space: nodes other than ground get indices ``0..n_nodes-1``;
+    ground maps to ``-1`` (handled by the system assembler).  Voltage
+    sources get branch rows ``n_nodes..n_nodes+n_vsrc-1``.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        non_ground = [n for n in circuit.node_names if n != GROUND]
+        self.node_index: Dict[str, int] = {GROUND: -1}
+        for i, node in enumerate(non_ground):
+            self.node_index[node] = i
+        self.n_nodes = len(non_ground)
+
+        self.resistors = [e for e in circuit.elements if isinstance(e, Resistor)]
+        self.capacitors = [e for e in circuit.elements if isinstance(e, Capacitor)]
+        self.vsources = [e for e in circuit.elements if isinstance(e, VoltageSource)]
+        self.isources = [e for e in circuit.elements if isinstance(e, CurrentSource)]
+        self.finfets = [e for e in circuit.elements if isinstance(e, FinFET)]
+        self.n_vsources = len(self.vsources)
+        self.size = self.n_nodes + self.n_vsources
+
+        if self.n_nodes == 0:
+            raise CircuitError("circuit has no non-ground nodes")
+
+    def voltage_index(self, node_name: str) -> int:
+        """MNA index of a node (-1 for ground)."""
+        try:
+            return self.node_index[node_name]
+        except KeyError:
+            raise CircuitError(f"unknown node {node_name!r}") from None

@@ -1,0 +1,296 @@
+"""SPICE-netlist interchange for the circuit engine.
+
+Writes and parses a practical SPICE dialect so cells can be exchanged
+with standalone simulators (and so strike netlists are inspectable by
+eye).  Supported cards:
+
+* ``R<name> n1 n2 <ohms>``
+* ``C<name> n1 n2 <farads>``
+* ``V<name> n+ n- <volts>``  (DC only)
+* ``I<name> n+ n- <amps | PULSE(i1 i2 td tr tf pw) | EXP(i1 i2 td1
+  tau1 td2 tau2) | PWL(t1 v1 t2 v2 ...)>``
+* ``M<name> d g s b <model> [nfin=<int>] [dvth=<volts>]`` -- FinFET
+  instance (bulk node ignored: SOI)
+* ``.model <name> finfet polarity=<1|-1> vth0=... beta=... alpha=...
+  n=... vdsatk=... vdsatmin=... lambda=... cgg=... cdb=...``
+* ``*`` comments, ``.end``, SPICE engineering suffixes (f, p, n, u, m,
+  k, meg, g, t).
+
+Current-source semantics note: SPICE's positive current flows from the
++ node through the source to the - node; our
+:class:`~repro.circuit.elements.CurrentSource` uses the same
+convention with ``node_from`` = + node.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..devices.finfet import FinFETModel
+from ..errors import CircuitError
+from .elements import Capacitor, CurrentSource, FinFET, Resistor, VoltageSource
+from .netlist import Circuit
+from .waveform import Dc, DoubleExponential, Pwl, RectPulse, Waveform
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)(meg|[tgkmunpf])?$",
+    re.IGNORECASE,
+)
+
+
+def parse_spice_number(token: str) -> float:
+    """Parse a SPICE number with engineering suffix (``1.5p`` etc.)."""
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise CircuitError(f"malformed SPICE number {token!r}")
+    value = float(match.group(1))
+    suffix = (match.group(2) or "").lower()
+    return value * _SUFFIXES.get(suffix, 1.0)
+
+
+def format_spice_number(value: float) -> str:
+    """Format a float compactly (plain scientific; always parseable)."""
+    return f"{value:.6g}"
+
+
+# -- writing ----------------------------------------------------------------
+
+
+def circuit_to_spice(circuit: Circuit, title: str = None) -> str:
+    """Render a :class:`Circuit` as SPICE netlist text."""
+    lines = [f"* {title or circuit.name}"]
+    models: Dict[str, FinFETModel] = {}
+
+    for element in circuit.elements:
+        if isinstance(element, Resistor):
+            lines.append(
+                f"R{element.name} {element.node_a} {element.node_b} "
+                f"{format_spice_number(element.resistance_ohm)}"
+            )
+        elif isinstance(element, Capacitor):
+            lines.append(
+                f"C{element.name} {element.node_a} {element.node_b} "
+                f"{format_spice_number(element.capacitance_f)}"
+            )
+        elif isinstance(element, VoltageSource):
+            lines.append(
+                f"V{element.name} {element.node_pos} {element.node_neg} "
+                f"{_waveform_to_spice(element.waveform)}"
+            )
+        elif isinstance(element, CurrentSource):
+            lines.append(
+                f"I{element.name} {element.node_from} {element.node_to} "
+                f"{_waveform_to_spice(element.waveform)}"
+            )
+        elif isinstance(element, FinFET):
+            models[element.model.name] = element.model
+            card = (
+                f"M{element.name} {element.drain} {element.gate} "
+                f"{element.source} 0 {element.model.name}"
+            )
+            if element.nfin != 1:
+                card += f" nfin={element.nfin}"
+            if element.vth_shift_v != 0.0:
+                card += f" dvth={format_spice_number(element.vth_shift_v)}"
+            lines.append(card)
+        else:
+            raise CircuitError(
+                f"cannot serialize element type {type(element).__name__}"
+            )
+
+    for model in models.values():
+        lines.append(
+            f".model {model.name} finfet polarity={model.polarity} "
+            f"vth0={format_spice_number(model.vth0_v)} "
+            f"beta={format_spice_number(model.beta_a_per_valpha)} "
+            f"alpha={format_spice_number(model.alpha)} "
+            f"n={format_spice_number(model.n_factor)} "
+            f"vdsatk={format_spice_number(model.vdsat_coeff)} "
+            f"vdsatmin={format_spice_number(model.vdsat_min_v)} "
+            f"lambda={format_spice_number(model.lambda_v)} "
+            f"cgg={format_spice_number(model.cgg_f)} "
+            f"cdb={format_spice_number(model.cdb_f)}"
+        )
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def _waveform_to_spice(waveform: Waveform) -> str:
+    if isinstance(waveform, Dc):
+        return format_spice_number(waveform.level)
+    if isinstance(waveform, RectPulse):
+        # PULSE(i1 i2 td tr tf pw): ideal edges
+        return (
+            f"PULSE(0 {format_spice_number(waveform.amplitude)} "
+            f"{format_spice_number(waveform.delay_s)} 0 0 "
+            f"{format_spice_number(waveform.width_s)})"
+        )
+    if isinstance(waveform, DoubleExponential):
+        return (
+            f"EXP(0 {format_spice_number(waveform.i0)} "
+            f"{format_spice_number(waveform.delay_s)} "
+            f"{format_spice_number(waveform.tau_rise_s)} "
+            f"{format_spice_number(waveform.delay_s)} "
+            f"{format_spice_number(waveform.tau_fall_s)})"
+        )
+    if isinstance(waveform, Pwl):
+        pairs = " ".join(
+            f"{format_spice_number(t)} {format_spice_number(v)}"
+            for t, v in zip(waveform.times_s, waveform.values)
+        )
+        return f"PWL({pairs})"
+    raise CircuitError(
+        f"cannot serialize waveform type {type(waveform).__name__}"
+    )
+
+
+def write_spice(circuit: Circuit, path: Union[str, Path], title: str = None):
+    """Write a circuit to a ``.sp`` file."""
+    Path(path).write_text(circuit_to_spice(circuit, title))
+
+
+# -- parsing ----------------------------------------------------------------
+
+
+def spice_to_circuit(text: str, name: str = "parsed") -> Circuit:
+    """Parse netlist text (the dialect written by :func:`circuit_to_spice`)."""
+    element_lines: List[str] = []
+    models: Dict[str, FinFETModel] = {}
+
+    for raw in text.splitlines():
+        line = raw.split("$", 1)[0].strip()
+        if not line or line.startswith("*"):
+            continue
+        lowered = line.lower()
+        if lowered == ".end":
+            break
+        if lowered.startswith(".model"):
+            model = _parse_model_card(line)
+            models[model.name] = model
+            continue
+        if lowered.startswith("."):
+            continue  # other dot-cards ignored (.tran etc.)
+        element_lines.append(line)
+
+    circuit = Circuit(name)
+    for line in element_lines:
+        _parse_element_card(circuit, line, models)
+    return circuit
+
+
+def read_spice(path: Union[str, Path]) -> Circuit:
+    """Read a ``.sp`` file into a :class:`Circuit`."""
+    return spice_to_circuit(Path(path).read_text(), name=Path(path).stem)
+
+
+def _parse_model_card(line: str) -> FinFETModel:
+    tokens = line.split()
+    if len(tokens) < 3 or tokens[2].lower() != "finfet":
+        raise CircuitError(f"unsupported .model card: {line!r}")
+    params = _parse_params(tokens[3:])
+    try:
+        return FinFETModel(
+            name=tokens[1],
+            polarity=int(params["polarity"]),
+            vth0_v=params["vth0"],
+            beta_a_per_valpha=params["beta"],
+            alpha=params["alpha"],
+            n_factor=params["n"],
+            vdsat_coeff=params.get("vdsatk", 0.6),
+            vdsat_min_v=params.get("vdsatmin", 0.05),
+            lambda_v=params.get("lambda", 0.05),
+            cgg_f=params.get("cgg", 4.0e-17),
+            cdb_f=params.get("cdb", 1.0e-17),
+        )
+    except KeyError as exc:
+        raise CircuitError(f"missing model parameter {exc} in: {line!r}") from exc
+
+
+def _parse_params(tokens) -> Dict[str, float]:
+    params: Dict[str, float] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise CircuitError(f"malformed parameter {token!r}")
+        key, value = token.split("=", 1)
+        params[key.lower()] = parse_spice_number(value)
+    return params
+
+
+def _parse_element_card(circuit: Circuit, line: str, models):
+    kind = line[0].upper()
+    tokens = line.split()
+    name = tokens[0][1:]
+    if not name:
+        raise CircuitError(f"element card without a name: {line!r}")
+
+    if kind == "R":
+        circuit.add_resistor(name, tokens[1], tokens[2], parse_spice_number(tokens[3]))
+    elif kind == "C":
+        circuit.add_capacitor(name, tokens[1], tokens[2], parse_spice_number(tokens[3]))
+    elif kind == "V":
+        circuit.add_vsource(name, tokens[1], tokens[2], parse_spice_number(tokens[3]))
+    elif kind == "I":
+        waveform = _parse_source_value(" ".join(tokens[3:]))
+        circuit.add_isource(name, tokens[1], tokens[2], waveform)
+    elif kind == "M":
+        if len(tokens) < 6:
+            raise CircuitError(f"malformed FinFET card: {line!r}")
+        model_name = tokens[5]
+        if model_name not in models:
+            raise CircuitError(f"unknown model {model_name!r} in: {line!r}")
+        params = _parse_params(tokens[6:]) if len(tokens) > 6 else {}
+        circuit.add_finfet(
+            name,
+            tokens[1],
+            tokens[2],
+            tokens[3],
+            models[model_name],
+            nfin=int(params.get("nfin", 1)),
+            vth_shift_v=params.get("dvth", 0.0),
+        )
+    else:
+        raise CircuitError(f"unsupported element card: {line!r}")
+
+
+_FUNC_RE = re.compile(r"^(PULSE|EXP|PWL)\s*\((.*)\)$", re.IGNORECASE)
+
+
+def _parse_source_value(text: str) -> Waveform:
+    text = text.strip()
+    match = _FUNC_RE.match(text)
+    if not match:
+        return Dc(parse_spice_number(text))
+    func = match.group(1).upper()
+    args = [parse_spice_number(t) for t in match.group(2).replace(",", " ").split()]
+    if func == "PULSE":
+        # PULSE(i1 i2 td tr tf pw [per]) -- ideal-edge rectangular
+        if len(args) < 6:
+            raise CircuitError(f"PULSE needs 6 arguments, got {len(args)}")
+        _, amplitude, delay, _, _, width = args[:6]
+        return RectPulse(amplitude=amplitude, width_s=width, delay_s=delay)
+    if func == "EXP":
+        # EXP(i1 i2 td1 tau1 td2 tau2)
+        if len(args) < 6:
+            raise CircuitError(f"EXP needs 6 arguments, got {len(args)}")
+        _, i0, delay, tau_rise, _, tau_fall = args[:6]
+        return DoubleExponential(
+            i0=i0, tau_rise_s=tau_rise, tau_fall_s=tau_fall, delay_s=delay
+        )
+    # PWL(t1 v1 t2 v2 ...)
+    if len(args) < 4 or len(args) % 2:
+        raise CircuitError("PWL needs an even number of >= 4 arguments")
+    return Pwl(args[0::2], args[1::2])

@@ -1,0 +1,206 @@
+"""Nonlinear transient analysis.
+
+Fixed user-supplied time grid (so strike studies can refine steps
+around the femtosecond-scale pulse and relax afterwards), trapezoidal
+integration with a backward-Euler first step (and BE fallback on
+non-convergence), full Newton at every step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from ..errors import CircuitError, ConvergenceError
+from .dc import DcSolution, _newton, solve_dc
+from .mna import MnaSystem
+from .netlist import Circuit, CompiledCircuit
+
+
+class TransientResult:
+    """Waveforms from a transient run."""
+
+    def __init__(self, compiled: CompiledCircuit, times_s: np.ndarray, solutions: np.ndarray):
+        self._compiled = compiled
+        self.times_s = times_s
+        self._solutions = solutions  # (n_steps, size)
+
+    def voltage(self, node_name: str) -> np.ndarray:
+        """Waveform of a node voltage [V]."""
+        index = self._compiled.voltage_index(node_name)
+        if index < 0:
+            return np.zeros_like(self.times_s)
+        return self._solutions[:, index].copy()
+
+    def final_voltage(self, node_name: str) -> float:
+        """Node voltage at the last time point."""
+        return float(self.voltage(node_name)[-1])
+
+    def voltages(self) -> Dict[str, np.ndarray]:
+        """All node waveforms by name."""
+        return {
+            name: self.voltage(name)
+            for name in self._compiled.circuit.node_names
+            if name != "0"
+        }
+
+    def __len__(self) -> int:
+        return len(self.times_s)
+
+
+def make_time_grid(t_stop_s: float, dt_s: float) -> np.ndarray:
+    """Uniform grid from 0 to ``t_stop_s`` with step ``dt_s``."""
+    if t_stop_s <= 0 or dt_s <= 0 or dt_s > t_stop_s:
+        raise CircuitError("need 0 < dt <= t_stop")
+    n = int(round(t_stop_s / dt_s))
+    return np.linspace(0.0, n * dt_s, n + 1)
+
+
+def make_strike_time_grid(
+    pulse_delay_s: float,
+    pulse_width_s: float,
+    settle_s: float,
+    fine_steps: int = 40,
+    coarse_steps: int = 400,
+) -> np.ndarray:
+    """Two-resolution grid for strike simulations.
+
+    Fine steps resolve ``[delay, delay + 2*width]`` (the pulse and its
+    immediate aftermath); coarse steps cover the settling tail where
+    the cell's regenerative feedback decides the flip.
+    """
+    if pulse_width_s <= 0 or settle_s <= 0:
+        raise CircuitError("pulse width and settle time must be positive")
+    pre = (
+        np.linspace(0.0, pulse_delay_s, 8, endpoint=False)
+        if pulse_delay_s > 0
+        else np.array([0.0])
+    )
+    fine_end = pulse_delay_s + 2.0 * pulse_width_s
+    fine = np.linspace(pulse_delay_s, fine_end, fine_steps, endpoint=False)
+    coarse = np.linspace(fine_end, pulse_delay_s + settle_s, coarse_steps)
+    grid = np.unique(np.concatenate([pre, fine, coarse]))
+    return grid
+
+
+def run_transient(
+    circuit: Circuit,
+    times_s,
+    initial_conditions: Optional[Dict[str, float]] = None,
+    from_dc: bool = True,
+    method: str = "trap",
+    max_iterations: int = 100,
+    tolerance_v: float = 1.0e-9,
+) -> TransientResult:
+    """Integrate the circuit over an explicit time grid.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist.
+    times_s:
+        Strictly increasing time points starting at the initial time.
+    initial_conditions:
+        Node voltages seeding the initial state.  With ``from_dc`` they
+        act as a nodeset (Newton converges to the nearest equilibrium);
+        without, they are taken literally (SPICE ``UIC``).
+    method:
+        ``"trap"`` (default; BE first step) or ``"be"`` throughout.
+    """
+    if method not in ("trap", "be"):
+        raise CircuitError(f"unknown integration method {method!r}")
+    times = np.asarray(times_s, dtype=np.float64)
+    if times.ndim != 1 or len(times) < 2 or np.any(np.diff(times) <= 0):
+        raise CircuitError("times must be a strictly increasing 1-D grid")
+
+    compiled = circuit.compile()
+
+    # -- initial state ------------------------------------------------------
+    if from_dc:
+        dc = solve_dc(
+            circuit,
+            initial_guess=initial_conditions,
+            time_s=float(times[0]),
+            tolerance_v=tolerance_v,
+        )
+        v = dc.raw
+    else:
+        v = np.zeros(compiled.size, dtype=np.float64)
+        if initial_conditions:
+            for name, volts in initial_conditions.items():
+                idx = compiled.voltage_index(name)
+                if idx >= 0:
+                    v[idx] = float(volts)
+
+    solutions = np.empty((len(times), compiled.size), dtype=np.float64)
+    solutions[0] = v
+
+    # per-capacitor companion state: branch current at previous step
+    cap_currents = np.zeros(len(compiled.capacitors), dtype=np.float64)
+
+    for step in range(1, len(times)):
+        t_now = float(times[step])
+        dt = t_now - float(times[step - 1])
+        step_method = "be" if (step == 1 and method == "trap") else method
+        v_prev = solutions[step - 1]
+
+        def stamp_caps(system: MnaSystem, v_iter, _method=step_method, _dt=dt, _v_prev=v_prev):
+            for cap_idx, cap in enumerate(compiled.capacitors):
+                cap.stamp_companion(
+                    system,
+                    compiled.node_index,
+                    _dt,
+                    _v_prev,
+                    cap_currents[cap_idx],
+                    _method,
+                )
+
+        interval = (float(times[step - 1]), t_now)
+        try:
+            v, _ = _newton(
+                compiled,
+                v_prev.copy(),
+                t_now,
+                0.0,
+                max_iterations,
+                tolerance_v,
+                stamp_extra=stamp_caps,
+                source_interval=interval,
+            )
+        except ConvergenceError:
+            # BE fallback: more dissipative, almost always converges.
+            if step_method == "trap":
+                step_method = "be"
+                v, _ = _newton(
+                    compiled,
+                    v_prev.copy(),
+                    t_now,
+                    0.0,
+                    max_iterations,
+                    tolerance_v,
+                    stamp_extra=stamp_caps,
+                    source_interval=interval,
+                )
+            else:
+                raise
+
+        # update companion currents for the next step
+        for cap_idx, cap in enumerate(compiled.capacitors):
+            a = compiled.voltage_index(cap.node_a)
+            b = compiled.voltage_index(cap.node_b)
+            v_ab_now = MnaSystem.voltage_between(v, a, b)
+            v_ab_prev = MnaSystem.voltage_between(v_prev, a, b)
+            if step_method == "be":
+                cap_currents[cap_idx] = (
+                    cap.capacitance_f / dt * (v_ab_now - v_ab_prev)
+                )
+            else:
+                cap_currents[cap_idx] = (
+                    2.0 * cap.capacitance_f / dt * (v_ab_now - v_ab_prev)
+                    - cap_currents[cap_idx]
+                )
+
+        solutions[step] = v
+
+    return TransientResult(compiled, times, solutions)

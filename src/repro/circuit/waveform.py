@@ -1,0 +1,257 @@
+"""Time-domain stimulus waveforms for independent sources.
+
+The paper models the radiation-induced parasitic current as a
+rectangular pulse (eq. 3, Fig. 3(b)); Section 4 additionally studies
+triangular pulses, and circuit-level prior work [17] uses the classic
+double-exponential.  All three are provided, plus DC and piecewise
+linear, behind one tiny interface: ``value(t)`` (vectorized) and
+``charge()`` (the integral that, per the paper, is the only parameter
+that matters).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class Waveform:
+    """Interface: a scalar function of time [s] with a known integral."""
+
+    def value(self, time_s):
+        """Waveform value at time(s) [s] (vectorized)."""
+        raise NotImplementedError
+
+    def charge(self) -> float:
+        """Integral over all time -- the delivered charge for a current."""
+        raise NotImplementedError
+
+    def charge_between(self, t0_s: float, t1_s: float) -> float:
+        """Integral over ``[t0, t1]`` -- used by the transient solver to
+        deliver the *exact* source charge per step regardless of how the
+        time grid aligns with waveform edges.  Subclasses provide
+        analytic forms; this fallback integrates numerically."""
+        if t1_s <= t0_s:
+            return 0.0
+        grid = np.linspace(t0_s, t1_s, 65)
+        return float(np.trapezoid(self.value(grid), grid))
+
+    def __call__(self, time_s):
+        return self.value(time_s)
+
+
+@dataclass(frozen=True)
+class Dc(Waveform):
+    """Constant value (charge is undefined/infinite; reported as inf)."""
+
+    level: float = 0.0
+
+    def value(self, time_s):
+        return np.full_like(np.asarray(time_s, dtype=np.float64), self.level)
+
+    def charge(self) -> float:
+        return math.inf if self.level != 0.0 else 0.0
+
+    def charge_between(self, t0_s: float, t1_s: float) -> float:
+        return self.level * max(t1_s - t0_s, 0.0)
+
+
+@dataclass(frozen=True)
+class RectPulse(Waveform):
+    """Rectangular pulse: ``amplitude`` on ``[delay, delay + width]``.
+
+    This is the paper's parasitic current model (eq. 3):
+    ``amplitude = Q / width`` with ``width`` the carrier transit time.
+    """
+
+    amplitude: float
+    width_s: float
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.width_s <= 0:
+            raise ConfigError("rectangular pulse width must be positive")
+        if self.delay_s < 0:
+            raise ConfigError("pulse delay cannot be negative")
+
+    @classmethod
+    def from_charge(cls, charge_c: float, width_s: float, delay_s: float = 0.0):
+        """Build the paper's pulse: amplitude I = Q / tau (eq. 3)."""
+        if width_s <= 0:
+            raise ConfigError("pulse width must be positive")
+        return cls(amplitude=charge_c / width_s, width_s=width_s, delay_s=delay_s)
+
+    def value(self, time_s):
+        t = np.asarray(time_s, dtype=np.float64)
+        inside = (t >= self.delay_s) & (t < self.delay_s + self.width_s)
+        return np.where(inside, self.amplitude, 0.0)
+
+    def charge(self) -> float:
+        return self.amplitude * self.width_s
+
+    def charge_between(self, t0_s: float, t1_s: float) -> float:
+        lo = max(t0_s, self.delay_s)
+        hi = min(t1_s, self.delay_s + self.width_s)
+        return self.amplitude * max(hi - lo, 0.0)
+
+
+@dataclass(frozen=True)
+class TriangularPulse(Waveform):
+    """Symmetric triangular pulse peaking at ``delay + width/2``."""
+
+    peak: float
+    width_s: float
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.width_s <= 0:
+            raise ConfigError("triangular pulse width must be positive")
+        if self.delay_s < 0:
+            raise ConfigError("pulse delay cannot be negative")
+
+    @classmethod
+    def from_charge(cls, charge_c: float, width_s: float, delay_s: float = 0.0):
+        """Triangle carrying ``charge_c``: peak = 2 Q / width."""
+        if width_s <= 0:
+            raise ConfigError("pulse width must be positive")
+        return cls(peak=2.0 * charge_c / width_s, width_s=width_s, delay_s=delay_s)
+
+    def value(self, time_s):
+        t = np.asarray(time_s, dtype=np.float64)
+        x = (t - self.delay_s) / self.width_s
+        rising = 2.0 * x
+        falling = 2.0 * (1.0 - x)
+        shape = np.where(x < 0.5, rising, falling)
+        inside = (x >= 0.0) & (x <= 1.0)
+        return np.where(inside, self.peak * shape, 0.0)
+
+    def charge(self) -> float:
+        return 0.5 * self.peak * self.width_s
+
+    def _cumulative(self, t_s: float) -> float:
+        """Integral from -inf to ``t`` of the triangle."""
+        x = (t_s - self.delay_s) / self.width_s
+        if x <= 0.0:
+            return 0.0
+        if x >= 1.0:
+            return self.charge()
+        total = self.charge()
+        if x <= 0.5:
+            return total * 2.0 * x * x
+        return total * (1.0 - 2.0 * (1.0 - x) ** 2)
+
+    def charge_between(self, t0_s: float, t1_s: float) -> float:
+        if t1_s <= t0_s:
+            return 0.0
+        return self._cumulative(t1_s) - self._cumulative(t0_s)
+
+
+@dataclass(frozen=True)
+class DoubleExponential(Waveform):
+    """The classic SEU current model of Baumann/Messenger [17].
+
+    ``I(t) = I0 * (exp(-t/tau_fall) - exp(-t/tau_rise))`` for t >= delay.
+    """
+
+    i0: float
+    tau_rise_s: float
+    tau_fall_s: float
+    delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.tau_rise_s <= 0 or self.tau_fall_s <= 0:
+            raise ConfigError("double-exponential time constants must be positive")
+        if self.tau_fall_s <= self.tau_rise_s:
+            raise ConfigError("tau_fall must exceed tau_rise")
+        if self.delay_s < 0:
+            raise ConfigError("pulse delay cannot be negative")
+
+    @classmethod
+    def from_charge(
+        cls,
+        charge_c: float,
+        tau_rise_s: float,
+        tau_fall_s: float,
+        delay_s: float = 0.0,
+    ):
+        """Double exponential carrying total charge ``charge_c``."""
+        if tau_fall_s <= tau_rise_s or tau_rise_s <= 0:
+            raise ConfigError("need 0 < tau_rise < tau_fall")
+        i0 = charge_c / (tau_fall_s - tau_rise_s)
+        return cls(i0=i0, tau_rise_s=tau_rise_s, tau_fall_s=tau_fall_s, delay_s=delay_s)
+
+    def value(self, time_s):
+        t = np.asarray(time_s, dtype=np.float64) - self.delay_s
+        with np.errstate(over="ignore"):
+            shape = np.exp(-t / self.tau_fall_s) - np.exp(-t / self.tau_rise_s)
+        return np.where(t >= 0.0, self.i0 * shape, 0.0)
+
+    def charge(self) -> float:
+        return self.i0 * (self.tau_fall_s - self.tau_rise_s)
+
+    def _cumulative(self, t_s: float) -> float:
+        t = t_s - self.delay_s
+        if t <= 0.0:
+            return 0.0
+        fall = self.tau_fall_s * (1.0 - math.exp(-t / self.tau_fall_s))
+        rise = self.tau_rise_s * (1.0 - math.exp(-t / self.tau_rise_s))
+        return self.i0 * (fall - rise)
+
+    def charge_between(self, t0_s: float, t1_s: float) -> float:
+        if t1_s <= t0_s:
+            return 0.0
+        return self._cumulative(t1_s) - self._cumulative(t0_s)
+
+
+@dataclass(frozen=True)
+class Pwl(Waveform):
+    """Piecewise-linear waveform through ``(times, values)`` breakpoints.
+
+    Held constant outside the breakpoint range (SPICE PWL semantics).
+    """
+
+    times_s: tuple
+    values: tuple
+
+    def __init__(self, times_s, values):
+        times = tuple(float(t) for t in times_s)
+        vals = tuple(float(v) for v in values)
+        if len(times) != len(vals) or len(times) < 2:
+            raise ConfigError("PWL needs >= 2 matching breakpoints")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigError("PWL times must be strictly increasing")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(self, "values", vals)
+
+    def value(self, time_s):
+        return np.interp(
+            np.asarray(time_s, dtype=np.float64), self.times_s, self.values
+        )
+
+    def charge(self) -> float:
+        return float(np.trapezoid(self.values, self.times_s))
+
+
+def pulse_from_charge(
+    shape: str, charge_c: float, width_s: float, delay_s: float = 0.0
+) -> Waveform:
+    """Factory for the Section 4 pulse-shape experiment.
+
+    ``shape`` is ``"rect"``, ``"triangle"`` or ``"dexp"``; every shape
+    carries exactly ``charge_c`` so POF comparisons isolate the shape.
+    For ``dexp``, ``width_s`` is interpreted as the fall time constant
+    with a 10x faster rise.
+    """
+    if shape == "rect":
+        return RectPulse.from_charge(charge_c, width_s, delay_s)
+    if shape == "triangle":
+        return TriangularPulse.from_charge(charge_c, width_s, delay_s)
+    if shape == "dexp":
+        return DoubleExponential.from_charge(
+            charge_c, tau_rise_s=width_s / 10.0, tau_fall_s=width_s, delay_s=delay_s
+        )
+    raise ConfigError(f"unknown pulse shape {shape!r}")

@@ -1,0 +1,246 @@
+"""Command-line interface: ``repro-ser`` / ``python -m repro``.
+
+Subcommands mirror the flow stages:
+
+* ``info``       -- technology card figures of merit.
+* ``qcrit``      -- nominal critical charge vs Vdd.
+* ``snm``        -- hold/read static noise margins vs Vdd.
+* ``build-luts`` -- build and cache the device- and cell-level LUTs.
+* ``fit``        -- FIT rate of one (particle, vdd) case.
+* ``sweep``      -- the full Fig. 9/10 evaluation sweep.
+* ``figures``    -- export every reproduced figure series as CSV.
+* ``report``     -- regenerate the paper's evaluation as markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_common(parser):
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    parser.add_argument(
+        "--particles",
+        default="alpha,proton",
+        help="comma-separated particles (default: alpha,proton)",
+    )
+    parser.add_argument(
+        "--mc-particles",
+        type=int,
+        default=50000,
+        help="array-MC particles per energy bin",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=200, help="variation MC samples"
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument(
+        "--no-variation",
+        action="store_true",
+        help="neglect process variation (nominal binary POFs)",
+    )
+
+
+def _make_flow(args, vdd_list=None):
+    from .core import FlowConfig, SerFlow
+    from .sram import CharacterizationConfig
+
+    particles = tuple(p.strip() for p in args.particles.split(",") if p.strip())
+    vdds = tuple(vdd_list) if vdd_list else (0.7, 0.8, 0.9, 1.0, 1.1)
+    config = FlowConfig(
+        particles=particles,
+        vdd_list=vdds,
+        characterization=CharacterizationConfig(
+            vdd_list=vdds, n_samples=args.samples
+        ),
+        process_variation=not args.no_variation,
+        mc_particles_per_bin=args.mc_particles,
+        seed=args.seed,
+    )
+    return SerFlow(config, cache_dir=args.cache_dir)
+
+
+def cmd_build_luts(args) -> int:
+    flow = _make_flow(args)
+    luts = flow.yield_luts()
+    for name, lut in luts.items():
+        print(
+            f"yield LUT [{name}]: {len(lut.energies_mev)} energies, "
+            f"{lut.trials_per_energy} trials each, "
+            f"peak mean pairs = {np.max(lut.mean_pairs):.1f}"
+        )
+    table = flow.pof_table()
+    print(
+        f"POF table: vdd={table.vdd_list.tolist()}, "
+        f"{len(table.charge_axis_c)} charge points, "
+        f"PV={'on' if table.process_variation else 'off'}"
+    )
+    return 0
+
+
+def cmd_fit(args) -> int:
+    flow = _make_flow(args, vdd_list=[args.vdd])
+    for particle in flow.config.particles:
+        result = flow.fit(particle, args.vdd)
+        print(
+            f"{particle:>7s}  vdd={args.vdd:.2f} V  "
+            f"FIT={result.fit_total:.4g}  SEU={result.fit_seu:.4g}  "
+            f"MBU={result.fit_mbu:.4g}  "
+            f"MBU/SEU={100 * result.mbu_to_seu_ratio:.2f}%"
+        )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .core import fit_report
+
+    vdds = [float(v) for v in args.vdd_list.split(",")]
+    flow = _make_flow(args, vdd_list=vdds)
+    sweep = flow.sweep()
+    print(fit_report(sweep, normalize=not args.absolute))
+    return 0
+
+
+def cmd_qcrit(args) -> int:
+    from .sram import SramCellDesign, critical_charge_vs_vdd
+
+    vdds = [float(v) for v in args.vdd_list.split(",")]
+    design = SramCellDesign()
+    qcrits = critical_charge_vs_vdd(design, vdds)
+    for vdd, qcrit in zip(vdds, qcrits):
+        electrons = qcrit / 1.602176634e-19
+        print(f"vdd={vdd:.2f} V  Qcrit={qcrit * 1e15:.4f} fC  ({electrons:.0f} e-)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .core import write_report
+
+    flow = _make_flow(args)
+    path = write_report(
+        flow,
+        args.out,
+        include_pv_comparison=not args.no_variation,
+        fig8_particles=args.mc_particles,
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from .analysis import export_figures
+
+    flow = _make_flow(args)
+    written = export_figures(
+        flow, args.out_dir, pof_energy_particles=args.mc_particles
+    )
+    for key, path in sorted(written.items()):
+        print(f"{key}: {path}")
+    return 0
+
+
+def cmd_snm(args) -> int:
+    from .sram import SramCellDesign, static_noise_margin_v
+
+    vdds = [float(v) for v in args.vdd_list.split(",")]
+    design = SramCellDesign()
+    for vdd in vdds:
+        hold = static_noise_margin_v(design, vdd, "hold")
+        read = static_noise_margin_v(design, vdd, "read")
+        print(
+            f"vdd={vdd:.2f} V  hold SNM={hold * 1e3:.1f} mV  "
+            f"read SNM={read * 1e3:.1f} mV"
+        )
+    return 0
+
+
+def cmd_info(args) -> int:
+    from .devices import default_tech
+
+    tech = default_tech()
+    print(f"technology: {tech.name}")
+    print(f"  fin: {tech.fin.length_nm} x {tech.fin.width_nm} x {tech.fin.height_nm} nm")
+    for label, model in (("nmos", tech.nmos), ("pmos", tech.pmos)):
+        print(
+            f"  {label}: Ion({tech.vdd_nominal_v}V) = "
+            f"{model.on_current(tech.vdd_nominal_v) * 1e6:.1f} uA/fin, "
+            f"Ioff = {model.off_current(tech.vdd_nominal_v) * 1e9:.2f} nA/fin, "
+            f"SS = {model.subthreshold_swing_mv_dec():.0f} mV/dec"
+        )
+    print(f"  sigma(Vth) = {tech.sigma_vth_v * 1e3:.0f} mV")
+    print(f"  node cap = {tech.node_cap_f * 1e15:.3f} fF")
+    print(
+        f"  transit time tau({tech.vdd_nominal_v} V) = "
+        f"{tech.transit_time_s(tech.vdd_nominal_v) * 1e15:.1f} fs"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ser",
+        description="Cross-layer SER analysis of SOI FinFET SRAM arrays "
+        "(DAC 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build-luts", help="build and cache all LUTs")
+    _add_common(p_build)
+    p_build.set_defaults(func=cmd_build_luts)
+
+    p_fit = sub.add_parser("fit", help="FIT rate at one supply voltage")
+    _add_common(p_fit)
+    p_fit.add_argument("--vdd", type=float, default=0.8)
+    p_fit.set_defaults(func=cmd_fit)
+
+    p_sweep = sub.add_parser("sweep", help="FIT and MBU/SEU vs Vdd")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--vdd-list", default="0.7,0.8,0.9,1.0,1.1")
+    p_sweep.add_argument(
+        "--absolute", action="store_true", help="print raw FIT (not normalized)"
+    )
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_qcrit = sub.add_parser("qcrit", help="nominal critical charge vs Vdd")
+    p_qcrit.add_argument("--vdd-list", default="0.7,0.8,0.9,1.0,1.1")
+    p_qcrit.set_defaults(func=cmd_qcrit)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the paper's evaluation as markdown"
+    )
+    _add_common(p_report)
+    p_report.add_argument("--out", default="reproduction_report.md")
+    p_report.set_defaults(func=cmd_report)
+
+    p_figures = sub.add_parser(
+        "figures", help="export every reproduced figure series as CSV"
+    )
+    _add_common(p_figures)
+    p_figures.add_argument("--out-dir", default="figures")
+    p_figures.set_defaults(func=cmd_figures)
+
+    p_snm = sub.add_parser("snm", help="static noise margins vs Vdd")
+    p_snm.add_argument("--vdd-list", default="0.7,0.8,0.9,1.0,1.1")
+    p_snm.set_defaults(func=cmd_snm)
+
+    p_info = sub.add_parser("info", help="technology figures of merit")
+    p_info.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

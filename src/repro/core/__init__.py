@@ -1,0 +1,22 @@
+"""The paper's cross-layer flow: orchestration and reporting."""
+
+from .flow import DEFAULT_ENERGY_RANGES, FlowConfig, SerFlow
+from .paper_report import generate_report, write_report
+from .report import (
+    comparison_report,
+    fit_report,
+    format_table,
+    pof_energy_report,
+)
+
+__all__ = [
+    "FlowConfig",
+    "SerFlow",
+    "DEFAULT_ENERGY_RANGES",
+    "fit_report",
+    "pof_energy_report",
+    "comparison_report",
+    "format_table",
+    "generate_report",
+    "write_report",
+]

@@ -1,0 +1,104 @@
+"""Human-readable reporting of flow results (text tables/series).
+
+The paper reports everything normalized; these helpers render the same
+rows/series the evaluation section shows, normalized the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..ser import FitResult, SerSweep
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain ASCII table with right-aligned numeric columns."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) or isinstance(value, np.floating):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def fit_report(sweep: SerSweep, normalize: bool = True) -> str:
+    """Fig. 9-style table: FIT vs Vdd per particle (normalized)."""
+    particles = sweep.particles()
+    all_fits = [
+        sweep.get(p, v).fit_total
+        for p in particles
+        for v in sweep.vdd_values(p)
+    ]
+    reference = max(all_fits) if (normalize and all_fits) else 1.0
+    reference = reference if reference > 0 else 1.0
+
+    rows = []
+    for particle in particles:
+        for vdd in sweep.vdd_values(particle):
+            result = sweep.get(particle, vdd)
+            rows.append(
+                [
+                    particle,
+                    vdd,
+                    result.fit_total / reference,
+                    result.fit_seu / reference,
+                    result.fit_mbu / reference,
+                    100.0 * result.mbu_to_seu_ratio,
+                ]
+            )
+    return format_table(
+        ["particle", "Vdd [V]", "SER (norm)", "SEU (norm)", "MBU (norm)", "MBU/SEU [%]"],
+        rows,
+    )
+
+
+def pof_energy_report(results, normalize: bool = True) -> str:
+    """Fig. 8-style table: POF (given array hit) vs energy."""
+    pofs = np.array([r.pof_total_given_hit for r in results])
+    reference = float(np.max(pofs)) if normalize and np.any(pofs > 0) else 1.0
+    rows = [
+        [r.particle_name, r.vdd_v, r.energy_mev, p / reference]
+        for r, p in zip(results, pofs)
+    ]
+    return format_table(
+        ["particle", "Vdd [V]", "E [MeV]", "POF (norm)"], rows
+    )
+
+
+def comparison_report(
+    label_a: str,
+    sweep_a: SerSweep,
+    label_b: str,
+    sweep_b: SerSweep,
+    particle: str,
+) -> str:
+    """Fig. 11-style table: two sweeps side by side with their ratio."""
+    vdds = sweep_a.vdd_values(particle)
+    rows = []
+    for vdd in vdds:
+        fit_a = sweep_a.get(particle, vdd).fit_total
+        fit_b = sweep_b.get(particle, vdd).fit_total
+        ratio = fit_a / fit_b if fit_b > 0 else float("inf")
+        rows.append([vdd, fit_a, fit_b, ratio])
+    return format_table(
+        ["Vdd [V]", f"SER {label_a}", f"SER {label_b}", f"{label_a}/{label_b}"],
+        rows,
+    )

@@ -1,0 +1,15 @@
+"""FinFET compact model, technology card, and process-variation model."""
+
+from .finfet import NMOS, PMOS, FinFETModel
+from .tech import TechnologyCard, default_tech, technology_at_temperature
+from .variation import VariationModel
+
+__all__ = [
+    "FinFETModel",
+    "NMOS",
+    "PMOS",
+    "TechnologyCard",
+    "default_tech",
+    "technology_at_temperature",
+    "VariationModel",
+]

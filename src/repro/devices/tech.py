@@ -1,0 +1,133 @@
+"""The 14 nm SOI FinFET technology card.
+
+The paper simulates a 14 nm SOI FinFET SRAM with device parameters from
+Wang et al. [28] and a PTM-style model card [29] -- both unavailable in
+the open.  This card is calibrated to the published figures of merit of
+that generation instead (DESIGN.md Section 2):
+
+* I_on ~ 50 uA / fin at Vdd = 0.8 V, I_off < 1 nA / fin,
+* |Vth| ~ 0.25 V, subthreshold swing ~ 70 mV/dec,
+* sigma(Vth) ~ 30 mV for a single-fin device [28],
+* storage-node capacitance ~ 0.15 fF,
+* fin 20 x 10 x 25 nm; carrier transit time > 10 fs at 1 V (paper
+  Section 3.3 quotes exactly this check for eq. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import FIN_ELECTRON_MOBILITY_CM2_PER_VS
+from ..errors import ConfigError
+from ..geometry import FinGeometry
+from ..units import nm_to_cm
+from .finfet import NMOS, PMOS, FinFETModel
+
+
+@dataclass(frozen=True)
+class TechnologyCard:
+    """Everything the cell- and array-level code needs about the process.
+
+    Attributes
+    ----------
+    name:
+        Card identifier.
+    nmos / pmos:
+        Per-fin compact models.
+    fin:
+        Fin geometry (shared by the transport world and the layout).
+    sigma_vth_v:
+        Threshold-voltage standard deviation of a single-fin device [V]
+        (random dopant/work-function fluctuation; [28] reports ~30 mV
+        at this node).
+    node_cap_f:
+        Lumped storage-node capacitance [F] (gate + junction + wire).
+    vdd_nominal_v:
+        Nominal supply.
+    electron_mobility_cm2_vs:
+        Channel electron mobility for the transit-time formula (eq. 2).
+    """
+
+    name: str = "soi-finfet-14nm"
+    nmos: FinFETModel = field(
+        default_factory=lambda: FinFETModel(
+            name="nfet14",
+            polarity=NMOS,
+            vth0_v=0.30,
+            beta_a_per_valpha=1.10e-4,
+            alpha=1.3,
+            n_factor=1.53,
+        )
+    )
+    pmos: FinFETModel = field(
+        default_factory=lambda: FinFETModel(
+            name="pfet14",
+            polarity=PMOS,
+            vth0_v=0.30,
+            beta_a_per_valpha=0.95e-4,
+            alpha=1.3,
+            n_factor=1.53,
+        )
+    )
+    fin: FinGeometry = field(
+        default_factory=lambda: FinGeometry(
+            length_nm=20.0, width_nm=10.0, height_nm=30.0
+        )
+    )
+    sigma_vth_v: float = 0.050
+    node_cap_f: float = 2.6e-16
+    #: Length of the charge-collecting fin segment [nm].  The silicon
+    #: fin is continuous through the gate: the reverse-biased drain
+    #: extension collects drift charge beyond the channel proper, so
+    #: the sensitive volume is longer than the gate length.
+    collection_length_nm: float = 60.0
+    vdd_nominal_v: float = 0.8
+    electron_mobility_cm2_vs: float = FIN_ELECTRON_MOBILITY_CM2_PER_VS
+
+    def __post_init__(self):
+        if self.sigma_vth_v < 0:
+            raise ConfigError("sigma_vth cannot be negative")
+        if self.node_cap_f <= 0:
+            raise ConfigError("node capacitance must be positive")
+        if self.vdd_nominal_v <= 0:
+            raise ConfigError("nominal Vdd must be positive")
+        if self.electron_mobility_cm2_vs <= 0:
+            raise ConfigError("mobility must be positive")
+        if self.collection_length_nm < self.fin.length_nm:
+            raise ConfigError(
+                "collection length cannot be shorter than the channel"
+            )
+
+    def transit_time_s(self, vds_v: float) -> float:
+        """Carrier transit time tau = L_fin^2 / (mu_e Vds) (paper eq. 2).
+
+        This is the width of the paper's rectangular parasitic current
+        pulse (eq. 3).
+        """
+        if vds_v <= 0:
+            raise ConfigError("Vds must be positive for a transit time")
+        length_cm = nm_to_cm(self.fin.length_nm)
+        return length_cm * length_cm / (
+            self.electron_mobility_cm2_vs * vds_v
+        )
+
+
+def technology_at_temperature(tech: TechnologyCard, temperature_k: float) -> TechnologyCard:
+    """A card with both device flavours moved to a junction temperature.
+
+    Applies the compact model's standard temperature coefficients (Vth,
+    mobility, subthreshold slope); geometry and capacitances are
+    temperature-independent at this fidelity.
+    """
+    from dataclasses import replace
+
+    return replace(
+        tech,
+        nmos=tech.nmos.at_temperature(temperature_k),
+        pmos=tech.pmos.at_temperature(temperature_k),
+    )
+
+
+def default_tech() -> TechnologyCard:
+    """The library's calibrated 14 nm SOI FinFET card."""
+    return TechnologyCard()

@@ -1,0 +1,5 @@
+"""Artifact persistence: LUT serialization and the build cache."""
+
+from .lutio import ArtifactCache, config_hash, load_artifact, save_artifact
+
+__all__ = ["ArtifactCache", "config_hash", "load_artifact", "save_artifact"]

@@ -1,0 +1,141 @@
+"""Persistence of LUT artifacts and results.
+
+The paper's flow builds its LUTs "only once"; this module makes that
+literal: electron-yield LUTs and POF tables serialize to JSON and can
+be cached on disk keyed by a configuration hash, so repeated benchmark
+runs skip the expensive build steps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import SerializationError
+from ..sram.pof_lut import PofTable
+from ..transport.lut import ElectronYieldLUT
+
+def _load_ser_sweep(payload):
+    from ..ser.results import SerSweep
+
+    return SerSweep.from_dict(payload)
+
+
+_KIND_LOADERS = {
+    "electron_yield_lut": ElectronYieldLUT.from_dict,
+    "pof_table": PofTable.from_dict,
+    "ser_sweep": _load_ser_sweep,
+}
+
+def save_artifact(artifact, path: Union[str, Path]):
+    """Write an artifact with a ``to_dict`` method to disk.
+
+    Format follows the suffix: ``.json`` (default, human-readable) or
+    ``.npz`` (compressed; the dict payload is embedded as a JSON blob
+    -- compact for the large POF grids).
+    """
+    path = Path(path)
+    if not hasattr(artifact, "to_dict"):
+        raise SerializationError(
+            f"object of type {type(artifact).__name__} is not serializable"
+        )
+    payload = artifact.to_dict()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if path.suffix == ".npz":
+
+        import numpy as np
+
+        blob = np.frombuffer(
+            json.dumps(payload).encode("utf-8"), dtype=np.uint8
+        )
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, payload=blob)
+        tmp.replace(path)
+        return
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle)
+    tmp.replace(path)
+
+def load_artifact(path: Union[str, Path]):
+    """Load a previously saved artifact, dispatching on its ``kind``."""
+    path = Path(path)
+    try:
+        if path.suffix == ".npz":
+            import numpy as np
+
+            with np.load(path) as archive:
+                payload = json.loads(
+                    archive["payload"].tobytes().decode("utf-8")
+                )
+        else:
+            with open(path) as handle:
+                payload = json.load(handle)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise SerializationError(f"cannot load artifact {path}: {exc}") from exc
+    kind = payload.get("kind")
+    loader = _KIND_LOADERS.get(kind)
+    if loader is None:
+        raise SerializationError(f"unknown artifact kind {kind!r} in {path}")
+    return loader(payload)
+
+def config_hash(*objects) -> str:
+    """Deterministic short hash of configuration objects.
+
+    Dataclasses are converted via ``asdict``; everything else must be
+    JSON-encodable.  Used as a cache key so stale artifacts are never
+    reused after a configuration change.
+    """
+
+    def encode(obj):
+        if is_dataclass(obj) and not isinstance(obj, type):
+            return {type(obj).__name__: _jsonable(asdict(obj))}
+        return _jsonable(obj)
+
+    blob = json.dumps([encode(o) for o in objects], sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+def _jsonable(obj):
+    """Recursively coerce numpy scalars/arrays into JSON-safe values."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating)):
+        return obj.item()
+    return obj
+
+class ArtifactCache:
+    """A tiny content-addressed artifact cache directory."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, name: str, *config_objects) -> Path:
+        """Cache file path for a named artifact under a config."""
+        key = config_hash(*config_objects)
+        return self.directory / f"{name}-{key}.json"
+
+    def get_or_build(self, name: str, builder, *config_objects):
+        """Load the cached artifact or build + store it.
+
+        ``builder`` is a zero-argument callable producing the artifact.
+        """
+        path = self.path_for(name, *config_objects)
+        if path.exists():
+            try:
+                return load_artifact(path)
+            except SerializationError:
+                path.unlink(missing_ok=True)
+        artifact = builder()
+        save_artifact(artifact, path)
+        return artifact

@@ -1,0 +1,13 @@
+"""Physical layout: 6T thin cell, tiled SRAM arrays, SVG rendering."""
+
+from .array import DATA_PATTERNS, SramArrayLayout
+from .celllayout import CellLayout
+from .render import array_layout_svg, write_layout_svg
+
+__all__ = [
+    "CellLayout",
+    "SramArrayLayout",
+    "DATA_PATTERNS",
+    "array_layout_svg",
+    "write_layout_svg",
+]

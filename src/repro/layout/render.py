@@ -1,0 +1,141 @@
+"""SVG rendering of cell and array layouts.
+
+Dependency-free visual inspection of the geometry the Monte Carlo
+actually sees: fin boxes colored by sensitivity (and by which strike
+current a hit feeds), cell boundaries, and a scale bar.  Output is a
+plain SVG string/file viewable in any browser.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ConfigError
+from ..sram.cell import ROLES
+from .array import SramArrayLayout
+
+#: Fill colors per strike index (I1/I2/I3) and for insensitive fins.
+_STRIKE_COLORS = {0: "#d62728", 1: "#ff7f0e", 2: "#e377c2", -1: "#9aa5b1"}
+_STRIKE_LABELS = {0: "I1", 1: "I2", 2: "I3", -1: "off-state-safe"}
+
+
+def array_layout_svg(
+    layout: SramArrayLayout,
+    scale: float = 2.0,
+    show_labels: bool = True,
+) -> str:
+    """Render an array layout as an SVG string.
+
+    Parameters
+    ----------
+    layout:
+        The array to draw.
+    scale:
+        Pixels per nanometre... of drawing (2.0 makes a 9x9 array
+        ~2700 px wide; reduce for big arrays).
+    show_labels:
+        Draw role names inside each fin of cell (0, 0) plus a legend.
+    """
+    if scale <= 0:
+        raise ConfigError("scale must be positive")
+    margin = 40.0
+    width = layout.width_nm * scale + 2 * margin
+    height = layout.height_nm * scale + 2 * margin
+
+    def sx(x_nm):
+        return margin + x_nm * scale
+
+    def sy(y_nm):
+        # SVG y grows downward; flip so the layout reads like a plot
+        return margin + (layout.height_nm - y_nm) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect width="{width:.0f}" height="{height:.0f}" fill="white"/>',
+    ]
+
+    # cell boundaries
+    for row in range(layout.n_rows + 1):
+        y = sy(row * layout.cell.height_nm)
+        parts.append(
+            f'<line x1="{sx(0):.1f}" y1="{y:.1f}" '
+            f'x2="{sx(layout.width_nm):.1f}" y2="{y:.1f}" '
+            'stroke="#d0d5da" stroke-width="1"/>'
+        )
+    for col in range(layout.n_cols + 1):
+        x = sx(col * layout.cell.width_nm)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{sy(0):.1f}" '
+            f'x2="{x:.1f}" y2="{sy(layout.height_nm):.1f}" '
+            'stroke="#d0d5da" stroke-width="1"/>'
+        )
+
+    # fins
+    for box, strike, role in zip(
+        layout.fin_boxes, layout.fin_strike, layout.fin_role
+    ):
+        color = _STRIKE_COLORS[int(strike)]
+        x = sx(box.lo[0])
+        y = sy(box.hi[1])
+        w = (box.hi[0] - box.lo[0]) * scale
+        h = (box.hi[1] - box.lo[1]) * scale
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{color}" fill-opacity="0.85" '
+            'stroke="#333" stroke-width="0.5"/>'
+        )
+
+    if show_labels:
+        # role labels inside cell (0, 0)
+        cell0 = [
+            (box, role)
+            for box, role, cell in zip(
+                layout.fin_boxes, layout.fin_role, layout.fin_cell
+            )
+            if cell == 0
+        ]
+        for box, role in cell0:
+            cx = sx(0.5 * (box.lo[0] + box.hi[0]))
+            cy = sy(0.5 * (box.lo[1] + box.hi[1]))
+            parts.append(
+                f'<text x="{cx:.1f}" y="{cy:.1f}" font-size="10" '
+                'text-anchor="middle" dominant-baseline="middle" '
+                f'fill="#111">{ROLES[int(role)]}</text>'
+            )
+        # legend
+        for i, (strike, label) in enumerate(sorted(_STRIKE_LABELS.items())):
+            x = margin + 8 + i * 130
+            parts.append(
+                f'<rect x="{x:.0f}" y="8" width="12" height="12" '
+                f'fill="{_STRIKE_COLORS[strike]}"/>'
+                f'<text x="{x + 16:.0f}" y="18" font-size="12" '
+                f'fill="#111">{label}</text>'
+            )
+        # scale bar: 100 nm
+        bar = 100.0 * scale
+        y = height - 14
+        parts.append(
+            f'<line x1="{margin:.0f}" y1="{y:.0f}" '
+            f'x2="{margin + bar:.0f}" y2="{y:.0f}" stroke="#111" '
+            'stroke-width="2"/>'
+            f'<text x="{margin + bar + 6:.0f}" y="{y + 4:.0f}" '
+            'font-size="12" fill="#111">100 nm</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_layout_svg(
+    layout: SramArrayLayout,
+    path: Union[str, Path],
+    scale: float = 2.0,
+    show_labels: bool = True,
+) -> Path:
+    """Write the rendering to a file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(array_layout_svg(layout, scale, show_labels))
+    return path

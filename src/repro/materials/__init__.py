@@ -1,0 +1,21 @@
+"""Material parameter records and the built-in material library."""
+
+from .library import (
+    BEOL_DIELECTRIC,
+    MATERIALS,
+    SILICON,
+    SILICON_DIOXIDE,
+    SUBSTRATE_SILICON,
+    get_material,
+)
+from .material import Material
+
+__all__ = [
+    "Material",
+    "SILICON",
+    "SILICON_DIOXIDE",
+    "SUBSTRATE_SILICON",
+    "BEOL_DIELECTRIC",
+    "MATERIALS",
+    "get_material",
+]

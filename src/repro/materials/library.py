@@ -1,0 +1,76 @@
+"""Pre-defined materials used by the SOI FinFET device stack.
+
+Parameter sources: densities and mean excitation energies follow the
+standard NIST/ICRU-37 values; the silicon electron-hole pair energy is
+the 3.6 eV the paper quotes.
+"""
+
+from __future__ import annotations
+
+from ..constants import SILICON_PAIR_ENERGY_EV
+from .material import Material
+
+#: Crystalline silicon -- the fin body.  The only material in the SOI
+#: stack whose deposited energy converts into collected charge.
+SILICON = Material(
+    name="Si",
+    atomic_number=14.0,
+    atomic_weight=28.0855,
+    density_g_cm3=2.329,
+    mean_excitation_ev=173.0,
+    pair_energy_ev=SILICON_PAIR_ENERGY_EV,
+    collects_charge=True,
+)
+
+#: Buried oxide (BOX) and gate oxide.  SiO2 formula unit: Z=30, A=60.08.
+SILICON_DIOXIDE = Material(
+    name="SiO2",
+    atomic_number=30.0,
+    atomic_weight=60.0843,
+    density_g_cm3=2.196,
+    mean_excitation_ev=139.2,
+    pair_energy_ev=17.0,
+    collects_charge=False,
+)
+
+#: Bulk silicon substrate below the BOX.  Same physics as the fin
+#: silicon but generated carriers never reach the fin (the BOX blocks
+#: the diffusion path -- paper Section 3.3), so it does not collect.
+SUBSTRATE_SILICON = Material(
+    name="Si-substrate",
+    atomic_number=14.0,
+    atomic_weight=28.0855,
+    density_g_cm3=2.329,
+    mean_excitation_ev=173.0,
+    pair_energy_ev=SILICON_PAIR_ENERGY_EV,
+    collects_charge=False,
+)
+
+#: Back-end-of-line dielectric approximated as SiO2 with reduced density
+#: (metal fill ignored; only matters as an energy-degrading overburden).
+BEOL_DIELECTRIC = Material(
+    name="BEOL",
+    atomic_number=30.0,
+    atomic_weight=60.0843,
+    density_g_cm3=1.8,
+    mean_excitation_ev=139.2,
+    pair_energy_ev=None,
+    collects_charge=False,
+)
+
+#: Registry by name for serialization round-trips.
+MATERIALS = {
+    mat.name: mat
+    for mat in (SILICON, SILICON_DIOXIDE, SUBSTRATE_SILICON, BEOL_DIELECTRIC)
+}
+
+
+def get_material(name: str) -> Material:
+    """Look a material up by name.
+
+    Raises
+    ------
+    KeyError
+        If the material is not registered.
+    """
+    return MATERIALS[name]

@@ -1,0 +1,86 @@
+"""Material description records for stopping-power and ionization models.
+
+A :class:`Material` carries the handful of bulk parameters the
+device-level physics needs: effective atomic number/weight, density,
+mean excitation energy (the ``I`` of Bethe-Bloch) and the mean energy
+required to create one electron-hole pair (for semiconductors and
+insulators where carrier generation matters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Material:
+    """Bulk material parameters.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"Si"``.
+    atomic_number:
+        Effective atomic number Z (electrons per atom / formula unit).
+    atomic_weight:
+        Effective atomic weight A [g/mol] per formula unit carrying
+        ``atomic_number`` electrons, so Z/A is the electron density
+        parameter used by Bethe-Bloch.
+    density_g_cm3:
+        Mass density [g/cm^3].
+    mean_excitation_ev:
+        Mean excitation energy I [eV] of the Bethe formula.
+    pair_energy_ev:
+        Mean energy to create one electron-hole pair [eV]; ``None``
+        for materials where generated carriers are never collected
+        (structural/packaging materials).
+    collects_charge:
+        Whether energy deposited in this material produces carriers
+        that can contribute to a transient current.  In the paper's SOI
+        model only the fin silicon collects charge (the BOX blocks
+        substrate diffusion charge).
+    """
+
+    name: str
+    atomic_number: float
+    atomic_weight: float
+    density_g_cm3: float
+    mean_excitation_ev: float
+    pair_energy_ev: Optional[float] = None
+    collects_charge: bool = False
+
+    def __post_init__(self):
+        if self.atomic_number <= 0 or self.atomic_weight <= 0:
+            raise ConfigError(
+                f"material {self.name!r}: Z and A must be positive "
+                f"(got Z={self.atomic_number}, A={self.atomic_weight})"
+            )
+        if self.density_g_cm3 <= 0:
+            raise ConfigError(
+                f"material {self.name!r}: density must be positive "
+                f"(got {self.density_g_cm3})"
+            )
+        if self.mean_excitation_ev <= 0:
+            raise ConfigError(
+                f"material {self.name!r}: mean excitation energy must be "
+                f"positive (got {self.mean_excitation_ev})"
+            )
+        if self.collects_charge and self.pair_energy_ev is None:
+            raise ConfigError(
+                f"material {self.name!r}: a charge-collecting material "
+                "needs a pair_energy_ev"
+            )
+
+    @property
+    def z_over_a(self) -> float:
+        """Z/A [mol/g] -- the electron-density factor of Bethe-Bloch."""
+        return self.atomic_number / self.atomic_weight
+
+    def electrons_per_cm3(self) -> float:
+        """Electron number density [1/cm^3]."""
+        from ..constants import AVOGADRO
+
+        return AVOGADRO * self.z_over_a * self.density_g_cm3

@@ -1,0 +1,95 @@
+"""Particle species and relativistic kinematics.
+
+The paper analyses the two directly-ionizing ground-level species:
+low-energy protons (atmospheric) and alpha particles (terrestrial,
+from package U/Th contamination).  Neutrons ionize only indirectly and
+are explicitly out of scope (the paper's future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import (
+    ALPHA_REST_ENERGY_MEV,
+    PROTON_REST_ENERGY_MEV,
+    SPEED_OF_LIGHT_CM_PER_S,
+)
+from ..errors import PhysicsError
+
+
+@dataclass(frozen=True)
+class ParticleType:
+    """An ion species.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"proton"`` / ``"alpha"``).
+    charge_number:
+        Bare nuclear charge z (1 for proton, 2 for alpha).
+    rest_energy_mev:
+        Rest mass energy m c^2 [MeV].
+    """
+
+    name: str
+    charge_number: int
+    rest_energy_mev: float
+
+    def gamma(self, kinetic_energy_mev):
+        """Lorentz factor for a kinetic energy [MeV] (vectorized)."""
+        energy = np.asarray(kinetic_energy_mev, dtype=np.float64)
+        if np.any(energy < 0):
+            raise PhysicsError("kinetic energy must be non-negative")
+        return 1.0 + energy / self.rest_energy_mev
+
+    def beta_squared(self, kinetic_energy_mev):
+        """v^2/c^2 for a kinetic energy [MeV] (vectorized)."""
+        gamma = self.gamma(kinetic_energy_mev)
+        return 1.0 - 1.0 / (gamma * gamma)
+
+    def beta(self, kinetic_energy_mev):
+        """v/c for a kinetic energy [MeV] (vectorized)."""
+        return np.sqrt(self.beta_squared(kinetic_energy_mev))
+
+    def speed_cm_per_s(self, kinetic_energy_mev):
+        """Particle speed [cm/s]."""
+        return self.beta(kinetic_energy_mev) * SPEED_OF_LIGHT_CM_PER_S
+
+    def passage_time_s(self, kinetic_energy_mev, path_nm):
+        """Time to traverse ``path_nm`` nanometres (paper eq. 1)."""
+        from ..units import nm_to_cm
+
+        speed = self.speed_cm_per_s(kinetic_energy_mev)
+        return nm_to_cm(np.asarray(path_nm, dtype=np.float64)) / speed
+
+    def kinetic_from_beta(self, beta):
+        """Inverse kinematics: kinetic energy [MeV] from v/c."""
+        beta = np.asarray(beta, dtype=np.float64)
+        if np.any((beta < 0) | (beta >= 1)):
+            raise PhysicsError("beta must lie in [0, 1)")
+        gamma = 1.0 / np.sqrt(1.0 - beta * beta)
+        return (gamma - 1.0) * self.rest_energy_mev
+
+
+PROTON = ParticleType(
+    name="proton", charge_number=1, rest_energy_mev=PROTON_REST_ENERGY_MEV
+)
+
+ALPHA = ParticleType(
+    name="alpha", charge_number=2, rest_energy_mev=ALPHA_REST_ENERGY_MEV
+)
+
+_PARTICLES = {"proton": PROTON, "alpha": ALPHA}
+
+
+def get_particle(name: str) -> ParticleType:
+    """Look up a particle by name (``"proton"`` or ``"alpha"``)."""
+    try:
+        return _PARTICLES[name]
+    except KeyError:
+        raise PhysicsError(
+            f"unknown particle {name!r}; expected one of {sorted(_PARTICLES)}"
+        ) from None

@@ -1,0 +1,5 @@
+"""System-level reliability: ECC and interleaving on top of the SER flow."""
+
+from .ecc import EccScheme, InterleavingAnalysis, word_failure_rates
+
+__all__ = ["EccScheme", "InterleavingAnalysis", "word_failure_rates"]

@@ -1,0 +1,144 @@
+"""ECC and bit-interleaving analysis of the array's upset statistics.
+
+The architectural consequence of the paper's MBU result: a
+single-error-correcting code protects a word against SEUs, but an MBU
+whose members share a logical word defeats it.  Physical bit
+interleaving (word bits placed every ``D`` columns) separates the
+members of a physically-compact MBU into different words.
+
+Inputs come straight from the flow's measurables:
+
+* SEU / MBU rates (paper eqs. 5-6 folded into FIT),
+* the failing-pair offset statistics of
+  :mod:`repro.ser.clusters` (which pairs share a row and how far apart
+  their columns are).
+
+Word mapping convention: with interleaving distance ``D``, physical
+column ``c`` of a row belongs to word ``c mod D`` (the standard
+bit-slice layout); two cells share a word iff they share a row and
+``d_col % D == 0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..ser.clusters import PairOffsetStatistics
+from ..ser.fit import FitResult
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """An error-correcting code's per-word correction capability."""
+
+    name: str
+    correctable_bits: int
+
+    def __post_init__(self):
+        if self.correctable_bits < 0:
+            raise ConfigError("correctable bit count cannot be negative")
+
+
+#: Common schemes.
+NO_ECC = EccScheme("none", 0)
+SEC_DED = EccScheme("SEC-DED", 1)
+DEC_TED = EccScheme("DEC-TED", 2)
+
+
+@dataclass(frozen=True)
+class InterleavingAnalysis:
+    """Failure-rate decomposition for one (ECC, interleave) choice.
+
+    Rates are in the same unit as the input FIT result.
+
+    Attributes
+    ----------
+    scheme / interleave_distance:
+        The architecture under analysis.
+    raw_seu_rate / raw_mbu_rate:
+        Physical upset rates from the flow.
+    uncorrectable_rate:
+        Expected rate of upset events the ECC cannot correct.
+    same_word_pair_fraction:
+        Fraction of failing pairs whose members share a logical word.
+    """
+
+    scheme: EccScheme
+    interleave_distance: int
+    raw_seu_rate: float
+    raw_mbu_rate: float
+    uncorrectable_rate: float
+    same_word_pair_fraction: float
+
+    @property
+    def correction_gain(self) -> float:
+        """(SEU+MBU) / uncorrectable -- how much the ECC buys."""
+        total = self.raw_seu_rate + self.raw_mbu_rate
+        if self.uncorrectable_rate <= 0:
+            return float("inf") if total > 0 else 1.0
+        return total / self.uncorrectable_rate
+
+
+def same_word_pair_fraction(
+    offsets: PairOffsetStatistics, interleave_distance: int
+) -> float:
+    """Fraction of failing pairs that share a logical word.
+
+    Same word requires the same row and a column offset that is a
+    multiple of the interleave distance (column offset 0 means the same
+    physical cell -- excluded by construction of the pair statistics).
+    """
+    if interleave_distance < 1:
+        raise ConfigError("interleave distance must be >= 1")
+    total = offsets.total_pair_rate
+    if total <= 0:
+        return 0.0
+    same_word = sum(
+        rate
+        for (d_row, d_col), rate in offsets.expected_pairs.items()
+        if d_row == 0 and d_col % interleave_distance == 0
+    )
+    return float(same_word / total)
+
+
+def word_failure_rates(
+    fit: FitResult,
+    offsets: PairOffsetStatistics,
+    scheme: EccScheme = SEC_DED,
+    interleave_distance: int = 4,
+) -> InterleavingAnalysis:
+    """Estimate the uncorrectable-upset rate for an architecture.
+
+    Model (first order, rare-event regime):
+
+    * with no ECC every upset event is a failure;
+    * a ``t``-correcting code is defeated only by events placing more
+      than ``t`` failing bits in one word.  For t >= 1 the dominant
+      surviving term is an MBU pair sharing a word, so
+
+          uncorrectable ~ MBU_rate x P(pair shares a word)
+
+      (events with >= 3 same-word failures are higher order);
+    * a ``t >= 2`` code additionally needs triple same-word clusters --
+      we bound its uncorrectable rate by the same-word fraction squared
+      (conservative upper estimate of the unresolved tail).
+    """
+    fraction = same_word_pair_fraction(offsets, interleave_distance)
+    if scheme.correctable_bits == 0:
+        uncorrectable = fit.fit_seu + fit.fit_mbu
+    elif scheme.correctable_bits == 1:
+        uncorrectable = fit.fit_mbu * fraction
+    else:
+        uncorrectable = fit.fit_mbu * fraction * fraction
+    return InterleavingAnalysis(
+        scheme=scheme,
+        interleave_distance=int(interleave_distance),
+        raw_seu_rate=fit.fit_seu,
+        raw_mbu_rate=fit.fit_mbu,
+        uncorrectable_rate=float(uncorrectable),
+        same_word_pair_fraction=fraction,
+    )

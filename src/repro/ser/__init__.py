@@ -1,0 +1,45 @@
+"""Array-level SER estimation: Monte Carlo, POF combination, FIT."""
+
+from .clusters import PairOffsetStatistics, collect_pair_offsets
+from .heavy_ion import (
+    CrossSectionPoint,
+    HeavyIonCampaign,
+    WeibullFit,
+    fit_weibull,
+)
+from .fit import FitResult, fit_from_spectrum_run, integrate_fit
+from .neutron_mc import NeutronMcConfig, NeutronSerSimulator, neutron_fit
+from .mc import (
+    DEFAULT_DIRECTION_LAWS,
+    DEPOSITION_MODES,
+    ArrayMcConfig,
+    ArrayPofResult,
+    ArraySerSimulator,
+)
+from .pof import combine, combine_mbu, combine_seu, combine_total
+from .results import SerSweep
+
+__all__ = [
+    "ArrayMcConfig",
+    "ArrayPofResult",
+    "ArraySerSimulator",
+    "DEPOSITION_MODES",
+    "DEFAULT_DIRECTION_LAWS",
+    "combine",
+    "combine_total",
+    "combine_seu",
+    "combine_mbu",
+    "FitResult",
+    "integrate_fit",
+    "fit_from_spectrum_run",
+    "HeavyIonCampaign",
+    "CrossSectionPoint",
+    "WeibullFit",
+    "fit_weibull",
+    "NeutronSerSimulator",
+    "NeutronMcConfig",
+    "neutron_fit",
+    "PairOffsetStatistics",
+    "collect_pair_offsets",
+    "SerSweep",
+]

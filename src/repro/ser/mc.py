@@ -1,0 +1,376 @@
+"""Array-level 3-D Monte Carlo (paper Section 5.1).
+
+For each random particle: find the struck fins by ray/box analysis of
+the array layout, convert deposits in *sensitive* fins to collected
+charges, look the affected cells' POFs up in the SPICE-characterized
+:class:`~repro.sram.PofTable`, and combine them into the event's
+total/SEU/MBU failure probabilities (eqs. 4-6).  Averaging over the
+batch gives the POF of a particle with that energy.
+
+Two charge-deposition modes (DESIGN.md Section 5):
+
+* ``"lut"`` (paper-faithful) -- the pair count of every struck fin is
+  drawn from the device-level :class:`~repro.transport.ElectronYieldLUT`
+  built with the single-fin Geant4-substitute, mirroring the paper's
+  LUT hand-off between levels.
+* ``"direct"`` -- deposits are computed from the actual chord through
+  each fin (stopping power + straggling), keeping the array geometry
+  and the deposit perfectly consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..constants import ELEMENTARY_CHARGE_C
+from ..errors import ConfigError
+from ..geometry import RayBatch, chord_lengths
+from ..layout import SramArrayLayout
+from ..physics import (
+    ParticleType,
+    sample_deposits_kev,
+    sample_pairs,
+    sample_rays,
+)
+from ..sram import PofTable
+from ..transport import ElectronYieldLUT
+from .pof import combine, multiplicity_pmf
+
+DEPOSITION_MODES = ("lut", "direct")
+
+#: Default angular law per particle species: package alphas arrive
+#: isotropically, atmospheric protons follow the cosine law.
+DEFAULT_DIRECTION_LAWS = {"alpha": "isotropic", "proton": "cosine"}
+
+
+@dataclass(frozen=True)
+class ArrayMcConfig:
+    """Knobs of the array-level Monte Carlo."""
+
+    deposition_mode: str = "lut"
+    margin_nm: float = 100.0
+    chunk_size: int = 8192
+    direction_laws: Optional[Dict[str, str]] = None
+    #: Largest tracked failure multiplicity (the last PMF bin absorbs
+    #: events with >= this many failed cells).
+    max_multiplicity: int = 8
+
+    def __post_init__(self):
+        if self.deposition_mode not in DEPOSITION_MODES:
+            raise ConfigError(
+                f"unknown deposition mode {self.deposition_mode!r}"
+            )
+        if self.margin_nm < 0:
+            raise ConfigError("margin cannot be negative")
+        if self.chunk_size < 1:
+            raise ConfigError("chunk size must be positive")
+
+    def law_for(self, particle_name: str) -> str:
+        laws = self.direction_laws or DEFAULT_DIRECTION_LAWS
+        return laws.get(particle_name, "isotropic")
+
+
+@dataclass(frozen=True)
+class ArrayPofResult:
+    """POF estimates for one (particle, energy, vdd) MC campaign.
+
+    POF values are per *launched* particle (launch window = array +
+    margin); ``*_given_hit`` values condition on the track crossing the
+    array bounding box, matching Fig. 8's "the particle definitely hits
+    the layout" normalization.
+    """
+
+    particle_name: str
+    energy_mev: float
+    vdd_v: float
+    n_particles: int
+    n_array_hits: int
+    n_fin_strikes: int
+    pof_total: float
+    pof_seu: float
+    pof_mbu: float
+    launch_area_cm2: float
+    #: Expected failure-count distribution per launched particle:
+    #: ``multiplicity_pmf[k]`` is the probability that exactly ``k``
+    #: cells fail (k = 1..max; index 0 unused -- misses dominate it).
+    multiplicity_pmf: Optional[np.ndarray] = None
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of launched tracks crossing the array bounding box."""
+        return self.n_array_hits / self.n_particles
+
+    @property
+    def pof_total_given_hit(self) -> float:
+        """POF conditional on hitting the array (Fig. 8 normalization)."""
+        if self.n_array_hits == 0:
+            return 0.0
+        return self.pof_total * self.n_particles / self.n_array_hits
+
+    @property
+    def pof_seu_given_hit(self) -> float:
+        if self.n_array_hits == 0:
+            return 0.0
+        return self.pof_seu * self.n_particles / self.n_array_hits
+
+    @property
+    def pof_mbu_given_hit(self) -> float:
+        if self.n_array_hits == 0:
+            return 0.0
+        return self.pof_mbu * self.n_particles / self.n_array_hits
+
+    @property
+    def mbu_to_seu_ratio(self) -> float:
+        """MBU/SEU ratio (paper Fig. 10); 0 when no SEUs were seen."""
+        return self.pof_mbu / self.pof_seu if self.pof_seu > 0 else 0.0
+
+    def mean_cluster_size(self) -> float:
+        """Expected failed-cell count conditional on an upset."""
+        if self.multiplicity_pmf is None:
+            raise ConfigError("multiplicity tracking was not enabled")
+        ks = np.arange(len(self.multiplicity_pmf))
+        mass = float(np.sum(self.multiplicity_pmf[1:]))
+        if mass <= 0:
+            return 0.0
+        return float(np.sum(ks * self.multiplicity_pmf)) / mass
+
+
+class ArraySerSimulator:
+    """Runs array-level strike campaigns against one layout + POF table."""
+
+    def __init__(
+        self,
+        layout: SramArrayLayout,
+        pof_table: PofTable,
+        yield_luts: Optional[Dict[str, ElectronYieldLUT]] = None,
+        config: Optional[ArrayMcConfig] = None,
+    ):
+        self.layout = layout
+        self.pof_table = pof_table
+        self.yield_luts = dict(yield_luts) if yield_luts else {}
+        self.config = config if config is not None else ArrayMcConfig()
+        if self.config.deposition_mode == "lut" and not self.yield_luts:
+            raise ConfigError(
+                "deposition mode 'lut' needs electron-yield LUTs "
+                "(build them with ElectronYieldLUT.build)"
+            )
+        # flat views used by the kernel: only sensitive fins can produce
+        # a failure, so the ray-casting works on that subset directly.
+        sensitive = self.layout.fin_strike >= 0
+        self._sensitive_boxes = self.layout.packed_boxes[sensitive]
+        self._sens_cell = self.layout.fin_cell[sensitive]
+        self._sens_strike = self.layout.fin_strike[sensitive]
+        self._array_bbox = self.layout.bounding_box()
+
+    def run(
+        self,
+        particle: ParticleType,
+        energy_mev: float,
+        vdd_v: float,
+        n_particles: int,
+        rng: np.random.Generator,
+    ) -> ArrayPofResult:
+        """Monte Carlo POF of one (particle, energy, vdd) point."""
+        if energy_mev <= 0:
+            raise ConfigError("energy must be positive")
+        if n_particles < 1:
+            raise ConfigError("need at least one particle")
+
+        x_range, y_range, z, launch_area = self.layout.launch_window(
+            self.config.margin_nm
+        )
+        law = self.config.law_for(particle.name)
+
+        sum_total = 0.0
+        sum_seu = 0.0
+        sum_mbu = 0.0
+        n_hits = 0
+        n_strikes = 0
+        pmf_sum = np.zeros(self.config.max_multiplicity + 1)
+
+        remaining = n_particles
+        while remaining > 0:
+            batch = min(remaining, self.config.chunk_size)
+            remaining -= batch
+            rays = sample_rays(batch, rng, x_range, y_range, z, law)
+            totals, seus, mbus, hits, strikes, pmf = self._process_batch(
+                particle, energy_mev, vdd_v, rays, rng
+            )
+            sum_total += totals
+            sum_seu += seus
+            sum_mbu += mbus
+            n_hits += hits
+            n_strikes += strikes
+            pmf_sum += pmf
+
+        return ArrayPofResult(
+            particle_name=particle.name,
+            energy_mev=float(energy_mev),
+            vdd_v=float(vdd_v),
+            n_particles=n_particles,
+            n_array_hits=n_hits,
+            n_fin_strikes=n_strikes,
+            pof_total=sum_total / n_particles,
+            pof_seu=sum_seu / n_particles,
+            pof_mbu=sum_mbu / n_particles,
+            launch_area_cm2=launch_area,
+            multiplicity_pmf=pmf_sum / n_particles,
+        )
+
+    def run_spectrum(
+        self,
+        particle: ParticleType,
+        spectrum,
+        vdd_v: float,
+        n_particles: int,
+        rng: np.random.Generator,
+        e_min_mev: float = None,
+        e_max_mev: float = None,
+    ) -> ArrayPofResult:
+        """Continuous-spectrum campaign: each track gets its own energy.
+
+        The exact alternative to the paper's eq. 8 discretization --
+        energies are sampled from the spectrum's flux density, so the
+        averaged POF folds the spectrum with no binning error.  The
+        result's ``pof_*`` values are flux-weighted means; multiply by
+        ``spectrum.integral_flux(e_min, e_max) * launch_area`` for the
+        event rate (see :func:`repro.ser.fit.fit_from_spectrum_run`).
+        """
+        if n_particles < 1:
+            raise ConfigError("need at least one particle")
+        e_min = e_min_mev if e_min_mev is not None else spectrum.e_min_mev
+        e_max = e_max_mev if e_max_mev is not None else spectrum.e_max_mev
+
+        x_range, y_range, z, launch_area = self.layout.launch_window(
+            self.config.margin_nm
+        )
+        law = self.config.law_for(particle.name)
+
+        sum_total = sum_seu = sum_mbu = 0.0
+        n_hits = 0
+        n_strikes = 0
+        pmf_sum = np.zeros(self.config.max_multiplicity + 1)
+
+        remaining = n_particles
+        while remaining > 0:
+            batch = min(remaining, self.config.chunk_size)
+            remaining -= batch
+            energies = spectrum.sample_energies(
+                batch, rng, e_min_mev=e_min, e_max_mev=e_max
+            )
+            rays = sample_rays(batch, rng, x_range, y_range, z, law)
+            totals, seus, mbus, hits, strikes, pmf = self._process_batch(
+                particle, energies, vdd_v, rays, rng
+            )
+            sum_total += totals
+            sum_seu += seus
+            sum_mbu += mbus
+            n_hits += hits
+            n_strikes += strikes
+            pmf_sum += pmf
+
+        return ArrayPofResult(
+            particle_name=particle.name,
+            energy_mev=float(np.sqrt(e_min * e_max)),
+            vdd_v=float(vdd_v),
+            n_particles=n_particles,
+            n_array_hits=n_hits,
+            n_fin_strikes=n_strikes,
+            pof_total=sum_total / n_particles,
+            pof_seu=sum_seu / n_particles,
+            pof_mbu=sum_mbu / n_particles,
+            launch_area_cm2=launch_area,
+            multiplicity_pmf=pmf_sum / n_particles,
+        )
+
+    # -- kernel ----------------------------------------------------------------
+
+    def _process_batch(self, particle, energy_mev, vdd_v, rays: RayBatch, rng):
+        # Cheap prefilter: only tracks crossing the array bounding box
+        # can strike a fin; run the expensive per-fin test on those.
+        bbox_packed = np.concatenate(
+            [self._array_bbox.lo, self._array_bbox.hi]
+        )[np.newaxis, :]
+        empty_pmf = np.zeros(self.config.max_multiplicity + 1)
+        array_hits = chord_lengths(rays, bbox_packed)[:, 0] > 0.0
+        n_hits = int(np.sum(array_hits))
+        if n_hits == 0:
+            return 0.0, 0.0, 0.0, 0, 0, empty_pmf
+
+        hit_rays = RayBatch(
+            rays.origins[array_hits], rays.directions[array_hits]
+        )
+        per_ray_energy = np.broadcast_to(
+            np.asarray(energy_mev, dtype=np.float64), (len(rays),)
+        )[array_hits]
+        chords = chord_lengths(hit_rays, self._sensitive_boxes)
+
+        event_rows = np.nonzero(np.any(chords > 0.0, axis=1))[0]
+        if len(event_rows) == 0:
+            return 0.0, 0.0, 0.0, n_hits, 0, empty_pmf
+
+        sub = chords[event_rows] > 0.0
+        ray_idx, fin_idx = np.nonzero(sub)
+        chord_vals = chords[event_rows][ray_idx, fin_idx]
+        strike_energies = per_ray_energy[event_rows][ray_idx]
+        n_strikes = len(fin_idx)
+
+        pairs = self._pairs_for_strikes(
+            particle, strike_energies, chord_vals, rng
+        )
+        charges = pairs * ELEMENTARY_CHARGE_C
+
+        # accumulate per (event, cell, strike-index)
+        n_events = len(event_rows)
+        cell_of = self._sens_cell[fin_idx]
+        strike_of = self._sens_strike[fin_idx]
+        charge_tensor = np.zeros(
+            (n_events, self.layout.n_cells, 3), dtype=np.float64
+        )
+        np.add.at(charge_tensor, (ray_idx, cell_of, strike_of), charges)
+
+        # POF lookup only for (event, cell) pairs with any charge
+        cell_mask = np.any(charge_tensor > 0.0, axis=2)
+        ev_i, cell_i = np.nonzero(cell_mask)
+        pof_cells = np.zeros((n_events, self.layout.n_cells), dtype=np.float64)
+        if len(ev_i):
+            pof_values = self.pof_table.query(
+                vdd_v, charge_tensor[ev_i, cell_i, :]
+            )
+            pof_cells[ev_i, cell_i] = pof_values
+
+        total, seu, mbu = combine(pof_cells)
+        pmf = multiplicity_pmf(
+            pof_cells, max_k=self.config.max_multiplicity
+        ).sum(axis=0)
+        pmf[0] = 0.0  # the k=0 bin is dominated by misses; not tracked
+        return (
+            float(np.sum(total)),
+            float(np.sum(seu)),
+            float(np.sum(mbu)),
+            n_hits,
+            n_strikes,
+            pmf,
+        )
+
+    def _pairs_for_strikes(self, particle, strike_energies, chord_nm, rng):
+        """Electron-hole pair counts for each struck sensitive fin.
+
+        ``strike_energies`` is the per-strike particle energy array
+        (constant for mono-energetic campaigns, per-track for spectrum
+        sampling).
+        """
+        if self.config.deposition_mode == "direct":
+            deposits = sample_deposits_kev(
+                particle, strike_energies, chord_nm, rng
+            )
+            return sample_pairs(deposits, rng)
+        lut = self.yield_luts.get(particle.name)
+        if lut is None:
+            raise ConfigError(
+                f"no electron-yield LUT registered for {particle.name!r}"
+            )
+        return lut.sample_pairs_many(strike_energies, rng)

@@ -1,0 +1,107 @@
+"""Result containers for SER sweeps and their serialization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .fit import FitResult
+
+
+@dataclass
+class SerSweep:
+    """FIT results over a (particle, vdd) grid.
+
+    The central artifact of the paper's evaluation: Figs. 9-11 are all
+    views of one such sweep (or the ratio of two).
+    """
+
+    results: Dict[Tuple[str, float], FitResult] = field(default_factory=dict)
+
+    def add(self, result: FitResult):
+        """Insert one integration result."""
+        self.results[(result.particle_name, result.vdd_v)] = result
+
+    def get(self, particle_name: str, vdd_v: float) -> FitResult:
+        """Fetch one result (raises if absent)."""
+        try:
+            return self.results[(particle_name, float(vdd_v))]
+        except KeyError:
+            raise ConfigError(
+                f"sweep has no result for ({particle_name}, {vdd_v})"
+            ) from None
+
+    def particles(self) -> List[str]:
+        """Particle names present, sorted."""
+        return sorted({p for p, _ in self.results})
+
+    def vdd_values(self, particle_name: str) -> np.ndarray:
+        """Sorted vdd grid for one particle."""
+        return np.array(
+            sorted(v for p, v in self.results if p == particle_name)
+        )
+
+    def fit_series(self, particle_name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vdd, FIT_total)`` series -- the paper's Fig. 9 curve."""
+        vdds = self.vdd_values(particle_name)
+        fits = np.array(
+            [self.get(particle_name, v).fit_total for v in vdds]
+        )
+        return vdds, fits
+
+    def mbu_seu_series(self, particle_name: str) -> Tuple[np.ndarray, np.ndarray]:
+        """``(vdd, MBU/SEU ratio)`` series -- the paper's Fig. 10 curve."""
+        vdds = self.vdd_values(particle_name)
+        ratios = np.array(
+            [self.get(particle_name, v).mbu_to_seu_ratio for v in vdds]
+        )
+        return vdds, ratios
+
+    def to_dict(self) -> dict:
+        """Plain-python payload (round-trips via :meth:`from_dict`)."""
+        payload = []
+        for (particle, vdd), result in sorted(self.results.items()):
+            payload.append(
+                {
+                    "particle": particle,
+                    "vdd": vdd,
+                    "fit_total": result.fit_total,
+                    "fit_seu": result.fit_seu,
+                    "fit_mbu": result.fit_mbu,
+                    "pof_per_bin": result.pof_per_bin.tolist(),
+                    "bin_edges_mev": result.bins.edges_mev.tolist(),
+                    "bin_flux": result.bins.integral_flux_per_cm2_s.tolist(),
+                }
+            )
+        return {"kind": "ser_sweep", "results": payload}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SerSweep":
+        """Rebuild a sweep saved with :meth:`to_dict`."""
+        from ..physics.spectra import EnergyBins
+
+        if payload.get("kind") != "ser_sweep":
+            raise ConfigError("payload is not a SER sweep")
+        sweep = cls()
+        for entry in payload["results"]:
+            edges = np.asarray(entry["bin_edges_mev"], dtype=np.float64)
+            bins = EnergyBins(
+                edges,
+                np.sqrt(edges[:-1] * edges[1:]),
+                np.asarray(entry["bin_flux"], dtype=np.float64),
+            )
+            sweep.add(
+                FitResult(
+                    particle_name=entry["particle"],
+                    vdd_v=float(entry["vdd"]),
+                    bins=bins,
+                    pof_per_bin=np.asarray(entry["pof_per_bin"]),
+                    fit_total=float(entry["fit_total"]),
+                    fit_seu=float(entry["fit_seu"]),
+                    fit_mbu=float(entry["fit_mbu"]),
+                )
+            )
+        return sweep

@@ -1,0 +1,179 @@
+"""Dynamic access analysis of the 6T cell: read disturb and write.
+
+The SER flow characterizes the cell in its hold state (word line low),
+where the paper's three sensitive transistors live.  A complete cell
+model should also demonstrate functional accesses -- both as a sanity
+check of the compact model (a cell that cannot be written is not a
+memory) and because the *read* condition is the classic worst case for
+stability (the access transistor lifts the '0' node).
+
+All analyses run on the full MNA engine with explicit word-line /
+bit-line waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuit import Circuit, Pwl, run_transient
+from ..errors import CharacterizationError, ConfigError
+from .cell import ROLES, SramCellDesign
+
+
+@dataclass(frozen=True)
+class AccessTimingConfig:
+    """Timing of the simulated access cycle."""
+
+    wl_rise_s: float = 2.0e-11
+    wl_width_s: float = 2.0e-10
+    settle_s: float = 2.0e-10
+    dt_s: float = 2.0e-12
+    #: Bit-line capacitance [F] -- many cells share a bit line, so it is
+    #: orders of magnitude above the storage-node capacitance.
+    bitline_cap_f: float = 5.0e-15
+
+    def __post_init__(self):
+        if min(self.wl_rise_s, self.wl_width_s, self.settle_s, self.dt_s) <= 0:
+            raise ConfigError("access timing values must be positive")
+        if self.bitline_cap_f <= 0:
+            raise ConfigError("bit-line capacitance must be positive")
+
+
+def _wordline_waveform(vdd_v: float, config: AccessTimingConfig) -> Pwl:
+    t0 = 1.0e-11
+    rise_end = t0 + config.wl_rise_s
+    fall_start = rise_end + config.wl_width_s
+    fall_end = fall_start + config.wl_rise_s
+    return Pwl(
+        [0.0, t0, rise_end, fall_start, fall_end],
+        [0.0, 0.0, vdd_v, vdd_v, 0.0],
+    )
+
+
+def _build_access_circuit(
+    design: SramCellDesign,
+    vdd_v: float,
+    config: AccessTimingConfig,
+    write_zero: bool,
+    vth_shifts_v=None,
+) -> Circuit:
+    """Cell with real bit-line loads and a pulsed word line.
+
+    ``write_zero`` drives BL low (attempting to overwrite the stored
+    '1'); otherwise both bit lines float at the precharge level through
+    their capacitance (read condition).
+    """
+    shifts = np.zeros(6) if vth_shifts_v is None else np.asarray(vth_shifts_v)
+    if shifts.shape != (6,):
+        raise ConfigError("need 6 Vth shifts in ROLES order")
+
+    cell = Circuit("sram6t-access")
+    cell.add_vsource("vvdd", "vdd", "0", vdd_v)
+    cell.add_vsource("vwl", "wl", "0", _wordline_waveform(vdd_v, config))
+
+    def shift(role):
+        return float(shifts[design.role_index(role)])
+
+    cell.add_finfet("pu_l", "q", "qb", "vdd", design.tech.pmos, design.nfin_pu, shift("pu_l"))
+    cell.add_finfet("pd_l", "q", "qb", "0", design.tech.nmos, design.nfin_pd, shift("pd_l"))
+    cell.add_finfet("pg_l", "bl", "wl", "q", design.tech.nmos, design.nfin_pg, shift("pg_l"))
+    cell.add_finfet("pu_r", "qb", "q", "vdd", design.tech.pmos, design.nfin_pu, shift("pu_r"))
+    cell.add_finfet("pd_r", "qb", "q", "0", design.tech.nmos, design.nfin_pd, shift("pd_r"))
+    cell.add_finfet("pg_r", "blb", "wl", "qb", design.tech.nmos, design.nfin_pg, shift("pg_r"))
+    cell.add_capacitor("cq", "q", "0", design.tech.node_cap_f)
+    cell.add_capacitor("cqb", "qb", "0", design.tech.node_cap_f)
+
+    if write_zero:
+        # write drivers: BL forced low, BLB forced high
+        cell.add_vsource("vbl", "bl", "0", 0.0)
+        cell.add_vsource("vblb", "blb", "0", vdd_v)
+    else:
+        # read: precharged floating bit lines modeled by their C with a
+        # weak precharge keeper (large R to Vdd)
+        cell.add_capacitor("cbl", "bl", "0", config.bitline_cap_f)
+        cell.add_capacitor("cblb", "blb", "0", config.bitline_cap_f)
+        cell.add_resistor("rpre_bl", "bl", "vdd", 1.0e8)
+        cell.add_resistor("rpre_blb", "blb", "vdd", 1.0e8)
+    return cell
+
+
+def _run_access(design, vdd_v, config, write_zero, vth_shifts_v):
+    circuit = _build_access_circuit(
+        design, vdd_v, config, write_zero, vth_shifts_v
+    )
+    t_stop = (
+        1.0e-11
+        + 2 * config.wl_rise_s
+        + config.wl_width_s
+        + config.settle_s
+    )
+    times = np.arange(0.0, t_stop, config.dt_s)
+    initial = {
+        "vdd": vdd_v,
+        "q": vdd_v,
+        "qb": 0.0,
+        "wl": 0.0,
+        "bl": 0.0 if write_zero else vdd_v,
+        "blb": vdd_v,
+    }
+    return run_transient(circuit, times, initial_conditions=initial)
+
+
+def read_disturb_analysis(
+    design: SramCellDesign,
+    vdd_v: float,
+    config: Optional[AccessTimingConfig] = None,
+    vth_shifts_v=None,
+) -> Dict[str, float]:
+    """Simulate a read access of the '1' cell.
+
+    Returns
+    -------
+    dict
+        ``survived`` (1.0/0.0), ``max_qb_bump_v`` (peak lift of the '0'
+        node during the access -- the read-disturb margin metric), and
+        ``bl_droop_v`` (bit-line discharge through the cell, i.e. the
+        read signal).
+    """
+    config = config if config is not None else AccessTimingConfig()
+    result = _run_access(design, vdd_v, config, False, vth_shifts_v)
+    q = result.voltage("q")
+    qb = result.voltage("qb")
+    blb = result.voltage("blb")
+    survived = 1.0 if q[-1] > qb[-1] else 0.0
+    return {
+        "survived": survived,
+        "max_qb_bump_v": float(np.max(qb)),
+        "bl_droop_v": float(vdd_v - np.min(blb)),
+    }
+
+
+def write_analysis(
+    design: SramCellDesign,
+    vdd_v: float,
+    config: Optional[AccessTimingConfig] = None,
+    vth_shifts_v=None,
+) -> Dict[str, float]:
+    """Simulate writing '0' over the stored '1'.
+
+    Returns
+    -------
+    dict
+        ``succeeded`` (1.0/0.0) and ``write_delay_s`` (word-line-rise to
+        storage-node crossing; inf if the write failed).
+    """
+    config = config if config is not None else AccessTimingConfig()
+    result = _run_access(design, vdd_v, config, True, vth_shifts_v)
+    q = result.voltage("q")
+    qb = result.voltage("qb")
+    succeeded = q[-1] < qb[-1]
+    delay = float("inf")
+    if succeeded:
+        crossing = np.nonzero(q < qb)[0]
+        if len(crossing) == 0:
+            raise CharacterizationError("write marked successful without a crossing")
+        delay = float(result.times_s[crossing[0]] - 1.0e-11)
+    return {"succeeded": 1.0 if succeeded else 0.0, "write_delay_s": delay}

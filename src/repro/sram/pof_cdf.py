@@ -1,0 +1,152 @@
+"""Fast Qcrit-CDF approximation of the POF tables (DESIGN.md §5).
+
+The grid :class:`~repro.sram.pof_lut.PofTable` is the paper-faithful
+representation, but it costs one vectorized strike simulation per grid
+point.  This module provides the cheaper alternative discussed in
+DESIGN.md: per (Vdd, combination), characterize the *critical charge
+distribution* under process variation once (a single vectorized
+bisection), and evaluate
+
+    POF(q1, q2, q3) ~= P( w . q  >  Qcrit_sample )
+
+via the empirical CDF of the Qcrit samples, where ``w`` are per-strike
+effectiveness weights.  Physically, all three strike currents push the
+cell toward the *same* flip (I1 discharges the '1' node, I2/I3 charge
+the '0' node), so their charges superpose to first order; the weights
+absorb the second-order asymmetry between the two storage nodes.
+
+A validation test compares this model against the grid tables; the
+array Monte Carlo accepts either (both expose ``query``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..devices import VariationModel
+from ..errors import ConfigError
+from .cell import SramCellDesign
+from .fastcell import FastCell
+
+#: Strike directions used to calibrate the effectiveness weights: all
+#: charge into I1, I2, I3 respectively.
+_UNIT_DIRECTIONS = (
+    np.array([1.0, 0.0, 0.0]),
+    np.array([0.0, 1.0, 0.0]),
+    np.array([0.0, 0.0, 1.0]),
+)
+
+
+@dataclass
+class QcritCdfModel:
+    """Empirical Qcrit-CDF POF model for one cell design.
+
+    Attributes
+    ----------
+    vdd_list:
+        Supply voltages characterized, ascending.
+    qcrit_samples:
+        Map vdd -> sorted array of I1-referenced critical charges [C]
+        (one entry per variation sample; a single nominal sample when
+        process variation is disabled).
+    weights:
+        Map vdd -> (3,) strike effectiveness weights relative to I1
+        (w[0] == 1 by construction; w[1], w[2] ~ 1 for the symmetric
+        cell).
+    """
+
+    vdd_list: np.ndarray
+    qcrit_samples: Dict[float, np.ndarray]
+    weights: Dict[float, np.ndarray]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def characterize(
+        cls,
+        design: SramCellDesign,
+        vdd_list,
+        n_samples: int = 200,
+        process_variation: bool = True,
+        seed: int = 2014,
+    ) -> "QcritCdfModel":
+        """Build the model: one vectorized bisection per (vdd, strike).
+
+        Cost is ~3 bisections x len(vdd_list), orders of magnitude
+        below the full grid characterization.
+        """
+        vdds = np.asarray(sorted(float(v) for v in vdd_list))
+        if len(vdds) == 0:
+            raise ConfigError("need at least one Vdd")
+        rng = np.random.default_rng(seed)
+        variation = VariationModel(
+            sigma_vth_v=design.tech.sigma_vth_v, enabled=process_variation
+        )
+        n = n_samples if process_variation else 1
+        shifts = variation.sample_shifts(n, design.nfins(), rng)
+
+        qcrit_samples: Dict[float, np.ndarray] = {}
+        weights: Dict[float, np.ndarray] = {}
+        for vdd in vdds:
+            cell = FastCell(design, float(vdd))
+            settled = cell.settle(shifts)
+            per_strike = [
+                cell.critical_charge_c(direction, shifts, settled=settled)
+                for direction in _UNIT_DIRECTIONS
+            ]
+            reference = per_strike[0]
+            qcrit_samples[float(vdd)] = np.sort(reference)
+            # weight_k: how much I_k charge is worth in I1 units
+            medians = [float(np.median(q)) for q in per_strike]
+            weights[float(vdd)] = np.array(
+                [medians[0] / m if m > 0 else 1.0 for m in medians]
+            )
+        return cls(vdd_list=vdds, qcrit_samples=qcrit_samples, weights=weights)
+
+    # -- queries -------------------------------------------------------------
+
+    def query(self, vdd_v: float, charges_c) -> np.ndarray:
+        """POF for ``(n, 3)`` charge rows (PofTable-compatible API)."""
+        charges = np.atleast_2d(np.asarray(charges_c, dtype=np.float64))
+        if charges.shape[1] != 3:
+            raise ConfigError("charges must have shape (n, 3)")
+        if np.any(charges < 0):
+            raise ConfigError("charges cannot be negative")
+
+        lo, hi, t = self._bracket(vdd_v)
+        pof_lo = self._query_at(lo, charges)
+        if hi == lo:
+            return pof_lo
+        pof_hi = self._query_at(hi, charges)
+        return (1.0 - t) * pof_lo + t * pof_hi
+
+    def _query_at(self, vdd: float, charges: np.ndarray) -> np.ndarray:
+        weights = self.weights[vdd]
+        effective = charges @ weights
+        samples = self.qcrit_samples[vdd]
+        # P(Qcrit <= q_eff), empirical CDF via searchsorted
+        ranks = np.searchsorted(samples, effective, side="right")
+        return ranks / float(len(samples))
+
+    def _bracket(self, vdd_v: float) -> Tuple[float, float, float]:
+        vdds = self.vdd_list
+        if vdd_v <= vdds[0]:
+            v = float(vdds[0])
+            return v, v, 0.0
+        if vdd_v >= vdds[-1]:
+            v = float(vdds[-1])
+            return v, v, 0.0
+        hi_idx = int(np.searchsorted(vdds, vdd_v))
+        lo, hi = float(vdds[hi_idx - 1]), float(vdds[hi_idx])
+        return lo, hi, (vdd_v - lo) / (hi - lo)
+
+    # -- summaries -----------------------------------------------------------
+
+    def qcrit_statistics(self, vdd_v: float) -> Tuple[float, float]:
+        """``(median, std)`` of the I1 critical charge at a grid Vdd."""
+        lo, hi, t = self._bracket(vdd_v)
+        samples = self.qcrit_samples[lo if t < 0.5 else hi]
+        return float(np.median(samples)), float(np.std(samples))

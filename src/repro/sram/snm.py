@@ -1,0 +1,147 @@
+"""Static noise margin (SNM) extraction for the 6T cell.
+
+Not part of the paper's SER flow, but the standard companion analysis
+for any SRAM robustness study (and a strong cross-check of the cell
+model: SNM must shrink with Vdd exactly as POF grows).  Implements the
+classic Seevinck butterfly-curve construction with the MNA engine:
+
+* **hold SNM** -- word line low, bit lines released;
+* **read SNM** -- word line high, bit lines clamped to Vdd (the
+  worst-case static condition).
+
+The SNM is the side of the largest square inscribed in the smaller
+lobe of the butterfly formed by one inverter's transfer curve and the
+mirror of the other's; the standard 45-degree-rotation trick turns the
+inscribed square into a vertical gap measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..circuit import Circuit, solve_dc
+from ..errors import CharacterizationError, ConfigError
+from .cell import SramCellDesign
+
+
+def inverter_transfer_curve(
+    design: SramCellDesign,
+    vdd_v: float,
+    n_points: int = 61,
+    mode: str = "hold",
+    vth_shifts_v=None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Voltage transfer curve of one cell inverter.
+
+    ``vth_shifts_v`` is the (pu, pd, pg) shift triple of this half-cell.
+    In ``"read"`` mode the access transistor (gate high, bit line at
+    Vdd) fights the pull-down, degrading the low output level -- the
+    classic read-disturb mechanism.
+    """
+    if mode not in ("hold", "read"):
+        raise ConfigError(f"unknown SNM mode {mode!r}")
+    if n_points < 3:
+        raise ConfigError("need at least 3 sweep points")
+    shifts = np.zeros(3) if vth_shifts_v is None else np.asarray(vth_shifts_v)
+    if shifts.shape != (3,):
+        raise ConfigError("half-cell shifts are a (pu, pd, pg) triple")
+
+    inputs = np.linspace(0.0, vdd_v, n_points)
+    outputs = np.empty_like(inputs)
+    for i, vin in enumerate(inputs):
+        circuit = Circuit("half-cell")
+        circuit.add_vsource("vvdd", "vdd", "0", vdd_v)
+        circuit.add_vsource("vin", "in", "0", float(vin))
+        circuit.add_finfet(
+            "pu", "out", "in", "vdd", design.tech.pmos, design.nfin_pu,
+            float(shifts[0]),
+        )
+        circuit.add_finfet(
+            "pd", "out", "in", "0", design.tech.nmos, design.nfin_pd,
+            float(shifts[1]),
+        )
+        if mode == "read":
+            circuit.add_vsource("vbl", "bl", "0", vdd_v)
+            circuit.add_vsource("vwl", "wl", "0", vdd_v)
+            circuit.add_finfet(
+                "pg", "bl", "wl", "out", design.tech.nmos, design.nfin_pg,
+                float(shifts[2]),
+            )
+        guess = {"vdd": vdd_v, "out": vdd_v if vin < vdd_v / 2 else 0.0}
+        outputs[i] = solve_dc(circuit, initial_guess=guess).voltage("out")
+    return inputs, outputs
+
+
+def _rotated_gap_curves(curve_a, curve_b_mirrored):
+    """Vertical gap between two curves in the 45-degree-rotated frame.
+
+    ``curve_a`` is ``(x, y)`` points of the first VTC; the second curve
+    is passed already mirrored (``(y, x)`` of the second VTC).  Returns
+    ``(u_grid, gap)`` with gap = v_a(u) - v_b(u).
+    """
+    sqrt2 = math.sqrt(2.0)
+    xa, ya = curve_a
+    xb, yb = curve_b_mirrored
+    ua, va = (xa - ya) / sqrt2, (xa + ya) / sqrt2
+    ub, vb = (xb - yb) / sqrt2, (xb + yb) / sqrt2
+    order_a = np.argsort(ua)
+    order_b = np.argsort(ub)
+    u_lo = max(ua.min(), ub.min())
+    u_hi = min(ua.max(), ub.max())
+    if u_hi <= u_lo:
+        raise CharacterizationError("butterfly curves do not overlap")
+    u_grid = np.linspace(u_lo, u_hi, 401)
+    gap = np.interp(u_grid, ua[order_a], va[order_a]) - np.interp(
+        u_grid, ub[order_b], vb[order_b]
+    )
+    return u_grid, gap
+
+
+def static_noise_margin_v(
+    design: SramCellDesign,
+    vdd_v: float,
+    mode: str = "hold",
+    n_points: int = 61,
+    vth_shifts_v=None,
+) -> float:
+    """Static noise margin [V] via the butterfly construction.
+
+    ``vth_shifts_v`` (optional) follows :data:`~repro.sram.cell.ROLES`
+    order; the weaker butterfly lobe governs the margin.
+    """
+    shifts = np.zeros(6) if vth_shifts_v is None else np.asarray(vth_shifts_v)
+    if shifts.shape != (6,):
+        raise ConfigError("cell shifts follow the 6-role order")
+
+    vin_l, vout_l = inverter_transfer_curve(
+        design, vdd_v, n_points, mode, shifts[[0, 1, 2]]
+    )
+    vin_r, vout_r = inverter_transfer_curve(
+        design, vdd_v, n_points, mode, shifts[[3, 4, 5]]
+    )
+
+    # butterfly: left VTC vs mirrored right VTC.  The gap is positive
+    # in one lobe and negative in the other; the largest inscribed
+    # square in each lobe has side |gap|_max / sqrt(2); the SNM is the
+    # smaller lobe's square.
+    _, gap = _rotated_gap_curves((vin_l, vout_l), (vout_r, vin_r))
+    positive = float(np.max(gap))
+    negative = float(np.max(-gap))
+    snm = min(positive, negative) / math.sqrt(2.0)
+    if not np.isfinite(snm) or snm <= 0:
+        raise CharacterizationError(
+            f"SNM extraction failed at vdd={vdd_v} (mode={mode})"
+        )
+    return snm
+
+
+def snm_vs_vdd(
+    design: SramCellDesign, vdd_values, mode: str = "hold"
+) -> np.ndarray:
+    """SNM [V] at each supply voltage (monotone increasing in Vdd)."""
+    return np.array(
+        [static_noise_margin_v(design, float(v), mode) for v in vdd_values]
+    )

@@ -1,0 +1,81 @@
+"""Strike scenarios: which sensitive devices collect how much charge.
+
+The paper characterizes POF "for different supply voltages, current
+pulse magnitudes, and all possible combinations of current pulses (for
+I1, I2, I3 and/or any combination of these three currents)".  A
+:class:`StrikeScenario` is one such case: a charge per strike index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: All non-empty subsets of strike indices {0 (I1), 1 (I2), 2 (I3)}.
+ALL_COMBOS: Tuple[Tuple[int, ...], ...] = tuple(
+    combo
+    for size in (1, 2, 3)
+    for combo in combinations(range(3), size)
+)
+
+
+def combo_of_charges(charges) -> Tuple[int, ...]:
+    """The combination key (sorted strike indices with charge > 0)."""
+    charges = np.asarray(charges, dtype=np.float64)
+    if charges.shape != (3,):
+        raise ConfigError("a strike scenario has exactly three charges")
+    if np.any(charges < 0):
+        raise ConfigError("strike charges cannot be negative")
+    return tuple(int(i) for i in np.nonzero(charges > 0.0)[0])
+
+
+def combo_label(combo: Tuple[int, ...]) -> str:
+    """Human-readable label, e.g. ``"I1+I3"``."""
+    return "+".join(f"I{i + 1}" for i in combo) if combo else "none"
+
+
+@dataclass(frozen=True)
+class StrikeScenario:
+    """Charges [C] collected by the I1/I2/I3 sensitive devices."""
+
+    charge_i1_c: float = 0.0
+    charge_i2_c: float = 0.0
+    charge_i3_c: float = 0.0
+
+    def __post_init__(self):
+        if min(self.charge_i1_c, self.charge_i2_c, self.charge_i3_c) < 0:
+            raise ConfigError("strike charges cannot be negative")
+
+    @classmethod
+    def from_charges(cls, charges) -> "StrikeScenario":
+        """Build from a length-3 sequence [C]."""
+        charges = np.asarray(charges, dtype=np.float64)
+        if charges.shape != (3,):
+            raise ConfigError("need exactly three charges")
+        return cls(*[float(c) for c in charges])
+
+    @property
+    def charges(self) -> np.ndarray:
+        """The (3,) charge vector [C]."""
+        return np.array(
+            [self.charge_i1_c, self.charge_i2_c, self.charge_i3_c]
+        )
+
+    @property
+    def combo(self) -> Tuple[int, ...]:
+        """Active-strike combination key."""
+        return combo_of_charges(self.charges)
+
+    @property
+    def total_charge_c(self) -> float:
+        """Sum of collected charges [C]."""
+        return float(np.sum(self.charges))
+
+    def is_empty(self) -> bool:
+        """True when no device collects charge."""
+        return self.total_charge_c == 0.0

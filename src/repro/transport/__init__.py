@@ -1,0 +1,14 @@
+"""Device-level Monte Carlo transport (Geant4 substitute) and the
+energy -> electron-yield LUT of paper Fig. 4."""
+
+from .engine import TransportConfig, TransportEngine
+from .events import TransportResult
+from .lut import ElectronYieldLUT, default_energy_grid
+
+__all__ = [
+    "TransportConfig",
+    "TransportEngine",
+    "TransportResult",
+    "ElectronYieldLUT",
+    "default_energy_grid",
+]

@@ -1,0 +1,65 @@
+"""Result records produced by the Monte Carlo transport engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TransportResult:
+    """Outcome of a batch of particle shots at a target world.
+
+    All arrays have one entry per launched particle.
+
+    Attributes
+    ----------
+    particle_name:
+        Species that was launched.
+    energy_mev:
+        Launch kinetic energy (common to the whole batch).
+    fin_chord_nm:
+        Geometric chord length through the charge-collecting fin [nm]
+        (0 where the fin was missed).
+    fin_deposit_kev:
+        Straggled energy deposited in the fin [keV].
+    fin_pairs:
+        Electron-hole pairs generated in the fin (Fano-sampled counts).
+    """
+
+    particle_name: str
+    energy_mev: float
+    fin_chord_nm: np.ndarray
+    fin_deposit_kev: np.ndarray
+    fin_pairs: np.ndarray
+
+    def __post_init__(self):
+        n = len(self.fin_chord_nm)
+        if len(self.fin_deposit_kev) != n or len(self.fin_pairs) != n:
+            raise ValueError("per-particle arrays must share a length")
+
+    def __len__(self) -> int:
+        return len(self.fin_chord_nm)
+
+    @property
+    def hit_mask(self) -> np.ndarray:
+        """Boolean mask of particles whose track crossed the fin."""
+        return self.fin_chord_nm > 0.0
+
+    @property
+    def hit_fraction(self) -> float:
+        """Fraction of launched particles that crossed the fin."""
+        return float(np.mean(self.hit_mask))
+
+    @property
+    def mean_pairs_given_hit(self) -> float:
+        """Mean pair count conditional on crossing the fin (0 if no hits)."""
+        hits = self.hit_mask
+        if not np.any(hits):
+            return 0.0
+        return float(np.mean(self.fin_pairs[hits]))
+
+    def pairs_given_hit(self) -> np.ndarray:
+        """Pair counts of the hitting subset."""
+        return self.fin_pairs[self.hit_mask]

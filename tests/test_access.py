@@ -1,0 +1,74 @@
+"""Dynamic read/write access analysis of the 6T cell."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sram import SramCellDesign
+from repro.sram.access import (
+    AccessTimingConfig,
+    read_disturb_analysis,
+    write_analysis,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+class TestReadAccess:
+    @pytest.fixture(scope="class")
+    def result(self, design):
+        return read_disturb_analysis(design, 0.8)
+
+    def test_cell_survives_read(self, result):
+        assert result["survived"] == 1.0
+
+    def test_zero_node_bumps_but_stays_low(self, result):
+        # the access transistor lifts qb, but below the trip point
+        assert 0.02 < result["max_qb_bump_v"] < 0.4
+
+    def test_bitline_develops_read_signal(self, result):
+        # the cell discharges BLB through pg_r/pd_r
+        assert result["bl_droop_v"] > 0.05
+
+    def test_weak_cell_bumps_higher(self, design):
+        nominal = read_disturb_analysis(design, 0.8)
+        # weaken the right pull-down (higher Vth): worse read stability
+        weak = read_disturb_analysis(
+            design, 0.8, vth_shifts_v=[0, 0, 0, 0, 0.10, 0]
+        )
+        assert weak["max_qb_bump_v"] > nominal["max_qb_bump_v"]
+
+
+class TestWriteAccess:
+    def test_write_succeeds(self, design):
+        result = write_analysis(design, 0.8)
+        assert result["succeeded"] == 1.0
+        assert 0.0 < result["write_delay_s"] < 2.0e-10
+
+    def test_write_works_across_vdd(self, design):
+        for vdd in (0.7, 1.0):
+            assert write_analysis(design, vdd)["succeeded"] == 1.0
+
+    def test_glitch_wordline_cannot_write(self, design):
+        """A ~1 ps word-line glitch is far shorter than the measured
+        ~20 ps write delay: the cell must hold."""
+        config = AccessTimingConfig(
+            wl_rise_s=0.5e-12, wl_width_s=0.5e-12, dt_s=0.5e-12
+        )
+        result = write_analysis(design, 0.8, config=config)
+        assert result["succeeded"] == 0.0
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AccessTimingConfig(dt_s=-1.0)
+        with pytest.raises(ConfigError):
+            AccessTimingConfig(bitline_cap_f=0.0)
+
+    def test_bad_shifts(self, design):
+        with pytest.raises(ConfigError):
+            read_disturb_analysis(design, 0.8, vth_shifts_v=[0.1, 0.2])

@@ -1,0 +1,92 @@
+"""Normalization helpers and figure-series generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Series,
+    decades_of_decrease,
+    dominance_factor,
+    fig2a_proton_spectrum,
+    fig2b_alpha_spectrum,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    normalized,
+)
+from repro.errors import ConfigError
+
+
+class TestNormalize:
+    def test_max_normalization(self):
+        out = normalized([1.0, 4.0, 2.0])
+        assert np.allclose(out, [0.25, 1.0, 0.5])
+
+    def test_first_normalization(self):
+        out = normalized([2.0, 4.0], reference="first")
+        assert np.allclose(out, [1.0, 2.0])
+
+    def test_last_normalization(self):
+        out = normalized([2.0, 4.0], reference="last")
+        assert np.allclose(out, [0.5, 1.0])
+
+    def test_invalid_reference(self):
+        with pytest.raises(ConfigError):
+            normalized([1.0], reference="median")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            normalized([0.0, 0.0])
+
+
+class TestShapeChecks:
+    def test_monotone_decreasing(self):
+        assert is_monotone_decreasing([3, 2, 1])
+        assert not is_monotone_decreasing([1, 2])
+        assert is_monotone_decreasing([3, 3.005, 1], tolerance=0.01)
+
+    def test_monotone_increasing(self):
+        assert is_monotone_increasing([1, 2, 3])
+        assert not is_monotone_increasing([2, 1])
+
+    def test_dominance_factor(self):
+        out = dominance_factor([4.0, 0.0, 1.0], [2.0, 0.0, 0.0])
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == pytest.approx(1.0)  # 0/0 -> neutral
+        assert np.isinf(out[2])
+
+    def test_decades(self):
+        assert decades_of_decrease([100.0, 1.0]) == pytest.approx(2.0)
+        with pytest.raises(ConfigError):
+            decades_of_decrease([0.0, 1.0])
+
+
+class TestSpectrumFigures:
+    def test_fig2a_shape(self):
+        series = fig2a_proton_spectrum(40)
+        assert isinstance(series, Series)
+        assert len(series.x) == 40
+        assert is_monotone_decreasing(series.y)
+
+    def test_fig2b_normalization(self):
+        series = fig2b_alpha_spectrum(500)
+        total = np.trapezoid(series.y, series.x)
+        assert total == pytest.approx(0.001 / 3600.0, rel=0.02)
+
+
+class TestFig4:
+    def test_joint_normalization(self):
+        from repro.analysis import fig4_electron_yield
+        from repro.physics import ALPHA, PROTON
+        from repro.transport import ElectronYieldLUT
+
+        rng = np.random.default_rng(0)
+        energies = np.logspace(0, 2, 4)
+        luts = {
+            "alpha": ElectronYieldLUT.build(ALPHA, energies, 3000, rng),
+            "proton": ElectronYieldLUT.build(PROTON, energies, 3000, rng),
+        }
+        alpha_series, proton_series = fig4_electron_yield(luts)
+        peak = max(alpha_series.y.max(), proton_series.y.max())
+        assert peak == pytest.approx(1.0)
+        # paper: alpha curve sits above proton at every common energy
+        assert np.all(alpha_series.y > proton_series.y)

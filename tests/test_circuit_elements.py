@@ -1,0 +1,112 @@
+"""Waveforms, elements, and netlist construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    Dc,
+    DoubleExponential,
+    Pwl,
+    RectPulse,
+    TriangularPulse,
+    pulse_from_charge,
+)
+from repro.errors import CircuitError, ConfigError
+
+
+class TestWaveforms:
+    def test_dc(self):
+        wave = Dc(0.8)
+        assert np.all(wave.value(np.array([0.0, 1e-9])) == 0.8)
+
+    def test_rect_pulse_window(self):
+        wave = RectPulse(amplitude=2.0, width_s=1e-12, delay_s=1e-12)
+        t = np.array([0.5e-12, 1.5e-12, 2.5e-12])
+        assert np.allclose(wave.value(t), [0.0, 2.0, 0.0])
+
+    def test_rect_from_charge_is_papers_eq3(self):
+        # I = Q / tau (paper eq. 3)
+        q, tau = 1e-15, 17e-15
+        wave = RectPulse.from_charge(q, tau)
+        assert wave.amplitude == pytest.approx(q / tau)
+        assert wave.charge() == pytest.approx(q)
+
+    def test_triangle_charge(self):
+        wave = TriangularPulse.from_charge(2e-15, 1e-12)
+        assert wave.charge() == pytest.approx(2e-15)
+        # peak at the middle of the window
+        assert wave.value(np.array([0.5e-12]))[0] == pytest.approx(wave.peak)
+
+    def test_dexp_charge(self):
+        wave = DoubleExponential.from_charge(1e-15, 1e-14, 1e-13)
+        assert wave.charge() == pytest.approx(1e-15)
+        # numeric integral agrees
+        t = np.linspace(0, 2e-12, 200001)
+        numeric = np.trapezoid(wave.value(t), t)
+        assert numeric == pytest.approx(1e-15, rel=1e-3)
+
+    def test_dexp_ordering_enforced(self):
+        with pytest.raises(ConfigError):
+            DoubleExponential(i0=1.0, tau_rise_s=1e-12, tau_fall_s=1e-13)
+
+    def test_pwl(self):
+        wave = Pwl([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert wave.value(np.array([0.5]))[0] == pytest.approx(1.0)
+        assert wave.charge() == pytest.approx(2.0)
+
+    def test_pwl_needs_increasing_times(self):
+        with pytest.raises(ConfigError):
+            Pwl([0.0, 0.0], [1.0, 2.0])
+
+    @pytest.mark.parametrize("shape", ["rect", "triangle", "dexp"])
+    def test_factory_preserves_charge(self, shape):
+        wave = pulse_from_charge(shape, 3e-15, 2e-14)
+        assert wave.charge() == pytest.approx(3e-15, rel=1e-9)
+
+    def test_factory_unknown_shape(self):
+        with pytest.raises(ConfigError):
+            pulse_from_charge("sawtooth", 1e-15, 1e-14)
+
+
+class TestNetlist:
+    def test_nodes_created_implicitly(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", "b", 100.0)
+        assert set(circuit.node_names) == {"0", "a", "b"}
+
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", "0", 100.0)
+        with pytest.raises(CircuitError):
+            circuit.add_resistor("r1", "b", "0", 100.0)
+
+    def test_invalid_resistance(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_resistor("r1", "a", "0", -5.0)
+
+    def test_invalid_capacitance(self):
+        with pytest.raises(CircuitError):
+            Circuit().add_capacitor("c1", "a", "0", 0.0)
+
+    def test_element_lookup(self):
+        circuit = Circuit()
+        r = circuit.add_resistor("r1", "a", "0", 100.0)
+        assert circuit.element("r1") is r
+        with pytest.raises(CircuitError):
+            circuit.element("nope")
+
+    def test_compile_indices(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "a", "0", 1.0)
+        circuit.add_resistor("r1", "a", "b", 100.0)
+        compiled = circuit.compile()
+        assert compiled.n_nodes == 2
+        assert compiled.n_vsources == 1
+        assert compiled.voltage_index("0") == -1
+        with pytest.raises(CircuitError):
+            compiled.voltage_index("zz")
+
+    def test_compile_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().compile()

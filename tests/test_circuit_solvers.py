@@ -1,0 +1,143 @@
+"""DC and transient solvers against analytic references."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    RectPulse,
+    make_strike_time_grid,
+    make_time_grid,
+    run_transient,
+    solve_dc,
+)
+from repro.devices import default_tech
+from repro.errors import CircuitError
+
+
+class TestDcLinear:
+    def test_voltage_divider(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "in", "0", 1.0)
+        circuit.add_resistor("r1", "in", "mid", 1000.0)
+        circuit.add_resistor("r2", "mid", "0", 3000.0)
+        sol = solve_dc(circuit)
+        assert sol.voltage("mid") == pytest.approx(0.75)
+
+    def test_branch_current(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "in", "0", 2.0)
+        circuit.add_resistor("r1", "in", "0", 1000.0)
+        sol = solve_dc(circuit)
+        # SPICE convention: current into the + terminal is negative
+        # when the source delivers power
+        assert abs(sol.branch_current("v1")) == pytest.approx(2e-3)
+
+    def test_current_source_direction(self):
+        # 1 mA from ground into node a across 1 kOhm -> +1 V
+        circuit = Circuit()
+        circuit.add_isource("i1", "0", "a", 1e-3)
+        circuit.add_resistor("r1", "a", "0", 1000.0)
+        sol = solve_dc(circuit)
+        assert sol.voltage("a") == pytest.approx(1.0)
+
+    def test_floating_node_is_singular(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "a", "0", 1.0)
+        circuit.add_capacitor("c1", "a", "b", 1e-15)  # b floats at DC
+        with pytest.raises(CircuitError):
+            solve_dc(circuit)
+
+
+class TestDcNonlinear:
+    def test_inverter_transfer(self):
+        tech = default_tech()
+        for vin, expect_high in ((0.05, False), (0.75, True)):
+            circuit = Circuit()
+            circuit.add_vsource("vdd", "vdd", "0", 0.8)
+            circuit.add_vsource("vin", "in", "0", vin)
+            circuit.add_finfet("mp", "out", "in", "vdd", tech.pmos)
+            circuit.add_finfet("mn", "out", "in", "0", tech.nmos)
+            sol = solve_dc(circuit, initial_guess={"vdd": 0.8})
+            if expect_high:
+                assert sol.voltage("out") < 0.1
+            else:
+                assert sol.voltage("out") > 0.7
+
+    def test_sram_bistability(self):
+        """Both hold states are reachable via the nodeset."""
+        from repro.sram import SramCellDesign
+
+        design = SramCellDesign()
+        circuit = design.build_circuit(0.8)
+        state1 = solve_dc(circuit, initial_guess=design.hold_state_guess(0.8))
+        assert state1.voltage("q") > 0.7
+        assert state1.voltage("qb") < 0.1
+        state0 = solve_dc(
+            circuit, initial_guess={"vdd": 0.8, "q": 0.0, "qb": 0.8}
+        )
+        assert state0.voltage("q") < 0.1
+        assert state0.voltage("qb") > 0.7
+
+
+class TestTransient:
+    def test_rc_charging(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "a", "0", 1.0)
+        circuit.add_resistor("r1", "a", "b", 1e3)
+        circuit.add_capacitor("c1", "b", "0", 1e-15)
+        times = make_time_grid(5e-12, 5e-15)
+        result = run_transient(
+            circuit, times, initial_conditions={"b": 0.0}, from_dc=False
+        )
+        expected = 1.0 - np.exp(-times / 1e-12)
+        assert np.max(np.abs(result.voltage("b") - expected)) < 2e-3
+
+    def test_be_matches_trap_at_fine_step(self):
+        circuit = Circuit()
+        circuit.add_vsource("v1", "a", "0", 1.0)
+        circuit.add_resistor("r1", "a", "b", 1e3)
+        circuit.add_capacitor("c1", "b", "0", 1e-15)
+        times = make_time_grid(3e-12, 2e-15)
+        trap = run_transient(circuit, times, {"b": 0.0}, from_dc=False, method="trap")
+        be = run_transient(circuit, times, {"b": 0.0}, from_dc=False, method="be")
+        assert np.max(np.abs(trap.voltage("b") - be.voltage("b"))) < 5e-3
+
+    def test_current_pulse_into_capacitor(self):
+        # pure C: dV = Q/C exactly, independent of pulse width
+        circuit = Circuit()
+        circuit.add_isource(
+            "i1", "0", "a", RectPulse.from_charge(1e-15, 1e-12)
+        )
+        circuit.add_capacitor("c1", "a", "0", 1e-15)
+        circuit.add_resistor("rleak", "a", "0", 1e12)  # keep DC solvable
+        times = make_time_grid(3e-12, 1e-14)
+        result = run_transient(circuit, times, from_dc=False)
+        assert result.final_voltage("a") == pytest.approx(1.0, rel=0.01)
+
+    def test_grid_validation(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            run_transient(circuit, np.array([0.0]))
+        with pytest.raises(CircuitError):
+            run_transient(circuit, np.array([0.0, 0.0, 1.0]))
+
+    def test_strike_grid_helper(self):
+        grid = make_strike_time_grid(1e-12, 2e-14, 5e-11)
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(1e-12 + 5e-11)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_from_dc_start_holds_equilibrium(self):
+        from repro.sram import SramCellDesign
+
+        design = SramCellDesign()
+        circuit = design.build_circuit(0.8)
+        times = make_time_grid(2e-11, 5e-13)
+        result = run_transient(
+            circuit, times, initial_conditions=design.hold_state_guess(0.8)
+        )
+        # no stimulus: the cell must stay put
+        assert result.final_voltage("q") > 0.7
+        assert result.final_voltage("qb") < 0.1

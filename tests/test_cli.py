@@ -1,0 +1,84 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        args = parser.parse_args(["info"])
+        assert args.command == "info"
+
+    def test_fit_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["fit"])
+        assert args.vdd == 0.8
+        assert args.particles == "alpha,proton"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "soi-finfet-14nm" in out
+        assert "transit time" in out
+
+    def test_qcrit(self, capsys):
+        assert main(["qcrit", "--vdd-list", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "Qcrit" in out
+
+    def test_fit_small(self, capsys, tmp_path):
+        code = main(
+            [
+                "fit",
+                "--vdd",
+                "0.8",
+                "--particles",
+                "alpha",
+                "--mc-particles",
+                "3000",
+                "--samples",
+                "20",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FIT=" in out
+        assert "MBU/SEU" in out
+
+
+class TestReport:
+    def test_report_command(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--out",
+                str(out),
+                "--particles",
+                "alpha",
+                "--mc-particles",
+                "2000",
+                "--samples",
+                "15",
+                "--no-variation",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "# Reproduction report" in text
+        assert "Fig. 9" in text
+        assert "Fig. 8" in text

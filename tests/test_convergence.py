@@ -1,0 +1,111 @@
+"""Monte Carlo convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ConvergenceEstimate, estimate_pof_error
+from repro.errors import ConfigError
+
+
+class TestConvergenceEstimate:
+    def test_relative_error(self):
+        est = ConvergenceEstimate(0.1, 0.01, 10000, 10)
+        assert est.relative_error == pytest.approx(0.1)
+
+    def test_zero_mean_infinite(self):
+        est = ConvergenceEstimate(0.0, 0.0, 1000, 10)
+        assert est.relative_error == float("inf")
+
+    def test_sizing_scales_inverse_square(self):
+        est = ConvergenceEstimate(0.1, 0.01, 10000, 10)
+        # halving the relative error costs 4x the particles
+        assert est.particles_for_relative_error(0.05) == 40000
+
+    def test_sizing_requires_observations(self):
+        est = ConvergenceEstimate(0.0, 0.0, 1000, 10)
+        with pytest.raises(ConfigError):
+            est.particles_for_relative_error(0.1)
+
+    def test_sizing_validates_target(self):
+        est = ConvergenceEstimate(0.1, 0.01, 10000, 10)
+        with pytest.raises(ConfigError):
+            est.particles_for_relative_error(0.0)
+
+
+class TestEstimatePofError:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        from repro.geometry import FinGeometry, SoiFinWorld
+        from repro.layout import SramArrayLayout
+        from repro.physics import ALPHA
+        from repro.ser import ArraySerSimulator
+        from repro.sram import (
+            CharacterizationConfig,
+            SramCellDesign,
+            characterize_cell,
+        )
+        from repro.transport import ElectronYieldLUT, TransportEngine
+
+        design = SramCellDesign()
+        table = characterize_cell(
+            design,
+            CharacterizationConfig(
+                vdd_list=(0.7,),
+                n_charge_points=13,
+                n_samples=30,
+                max_pair_points=4,
+                max_triple_points=3,
+            ),
+        )
+        fin = FinGeometry(
+            design.tech.collection_length_nm,
+            design.tech.fin.width_nm,
+            design.tech.fin.height_nm,
+        )
+        lut = ElectronYieldLUT.build(
+            ALPHA,
+            np.logspace(-1, 1, 4),
+            3000,
+            np.random.default_rng(0),
+            engine=TransportEngine(SoiFinWorld(fin=fin)),
+        )
+        return ArraySerSimulator(SramArrayLayout(), table, {"alpha": lut})
+
+    def test_estimate_shape(self, simulator):
+        from repro.physics import ALPHA
+
+        est = estimate_pof_error(
+            simulator, ALPHA, 2.0, 0.7, 20000, np.random.default_rng(1),
+            n_batches=5,
+        )
+        assert est.mean_pof > 0
+        assert est.standard_error > 0
+        assert est.relative_error < 0.5
+        assert est.n_particles == 20000
+
+    def test_more_particles_tighter(self, simulator):
+        from repro.physics import ALPHA
+
+        small = estimate_pof_error(
+            simulator, ALPHA, 2.0, 0.7, 5000, np.random.default_rng(2),
+            n_batches=5,
+        )
+        large = estimate_pof_error(
+            simulator, ALPHA, 2.0, 0.7, 40000, np.random.default_rng(2),
+            n_batches=5,
+        )
+        assert large.relative_error < small.relative_error
+
+    def test_validation(self, simulator):
+        from repro.physics import ALPHA
+
+        with pytest.raises(ConfigError):
+            estimate_pof_error(
+                simulator, ALPHA, 2.0, 0.7, 1000, np.random.default_rng(0),
+                n_batches=1,
+            )
+        with pytest.raises(ConfigError):
+            estimate_pof_error(
+                simulator, ALPHA, 2.0, 0.7, 5, np.random.default_rng(0),
+                n_batches=10,
+            )

@@ -1,0 +1,96 @@
+"""CSV figure export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro import FlowConfig, SerFlow
+from repro.analysis import export_figures
+from repro.sram import CharacterizationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_flow():
+    return SerFlow(
+        FlowConfig(
+            particles=("alpha", "proton"),
+            vdd_list=(0.7, 0.9),
+            yield_energy_points=4,
+            yield_trials_per_energy=2000,
+            characterization=CharacterizationConfig(
+                vdd_list=(0.7, 0.9),
+                n_charge_points=13,
+                n_samples=25,
+                max_pair_points=4,
+                max_triple_points=3,
+            ),
+            array_rows=3,
+            array_cols=3,
+            n_energy_bins=3,
+            mc_particles_per_bin=4000,
+            seed=5,
+        )
+    )
+
+
+class TestExportFigures:
+    @pytest.fixture(scope="class")
+    def written(self, tiny_flow, tmp_path_factory):
+        out = tmp_path_factory.mktemp("figures")
+        return export_figures(tiny_flow, out, pof_energy_particles=3000), out
+
+    def test_all_figures_written(self, written):
+        files, _ = written
+        expected = {
+            "fig2a",
+            "fig2b",
+            "fig4_alpha",
+            "fig4_proton",
+            "fig9_alpha",
+            "fig9_proton",
+            "fig10_alpha",
+            "fig10_proton",
+        }
+        assert expected <= set(files)
+        # fig8 keys per (particle, vdd)
+        assert any(k.startswith("fig8_alpha") for k in files)
+
+    def test_csv_structure(self, written):
+        files, _ = written
+        with open(files["fig2a"]) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "energy_mev"
+        assert len(rows) > 10
+        values = np.array([float(r[1]) for r in rows[1:]])
+        assert np.all(np.diff(values) <= 0)  # monotone proton spectrum
+
+    def test_fig9_values_normalized(self, written):
+        files, _ = written
+        with open(files["fig9_alpha"]) as handle:
+            rows = list(csv.reader(handle))
+        values = [float(r[1]) for r in rows[1:]]
+        assert max(values) <= 1.0 + 1e-9
+
+
+class TestCliFigures(object):
+    def test_cli_figures_smoke(self, tmp_path):
+        from repro.cli import main
+
+        code = main(
+            [
+                "figures",
+                "--out-dir",
+                str(tmp_path / "figs"),
+                "--particles",
+                "alpha",
+                "--mc-particles",
+                "2000",
+                "--samples",
+                "15",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "figs" / "fig2a_proton_spectrum.csv").exists()

@@ -1,0 +1,152 @@
+"""Fast vectorized cell model, including agreement with the MNA engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sram import FastCell, SramCellDesign
+from repro.sram.qcrit import (
+    critical_charge_samples_c,
+    critical_charge_vs_vdd,
+    nominal_critical_charge_c,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+@pytest.fixture(scope="module")
+def cell(design):
+    return FastCell(design, 0.8)
+
+
+ZERO_SHIFTS = np.zeros((1, 6))
+
+
+class TestSettle:
+    def test_settles_to_hold_state(self, cell):
+        vq, vqb = cell.settle(ZERO_SHIFTS)
+        assert vq[0] == pytest.approx(0.8, abs=0.02)
+        assert vqb[0] == pytest.approx(0.0, abs=0.02)
+
+    def test_batch_settle(self, cell):
+        rng = np.random.default_rng(0)
+        shifts = rng.standard_normal((50, 6)) * 0.03
+        vq, vqb = cell.settle(shifts)
+        assert vq.shape == (50,)
+        assert np.all(vq > 0.7)
+        assert np.all(vqb < 0.1)
+
+
+class TestImpulseStrikes:
+    def test_zero_charge_never_flips(self, cell):
+        flipped = cell.run_impulse(np.zeros((4, 3)), np.zeros((4, 6)))
+        assert not np.any(flipped)
+
+    def test_huge_charge_always_flips(self, cell):
+        charges = np.zeros((3, 3))
+        charges[:, 0] = 5e-15
+        flipped = cell.run_impulse(charges, np.zeros((3, 6)))
+        assert np.all(flipped)
+
+    @pytest.mark.parametrize("strike_index", [0, 1, 2])
+    def test_each_strike_path_can_flip(self, cell, strike_index):
+        charges = np.zeros((1, 3))
+        charges[0, strike_index] = 5e-15
+        assert cell.run_impulse(charges, ZERO_SHIFTS)[0]
+
+    def test_combined_strikes_flip_below_single_threshold(self, cell):
+        qcrit = nominal_critical_charge_c(cell.design, 0.8)
+        # 60% of Qcrit on each of I1 and I2 together must flip
+        charges = np.array([[0.6 * qcrit, 0.6 * qcrit, 0.0]])
+        assert cell.run_impulse(charges, ZERO_SHIFTS)[0]
+        # but 60% on I1 alone must not
+        charges_single = np.array([[0.6 * qcrit, 0.0, 0.0]])
+        assert not cell.run_impulse(charges_single, ZERO_SHIFTS)[0]
+
+    def test_monotone_in_charge(self, cell):
+        qcrit = nominal_critical_charge_c(cell.design, 0.8)
+        grid = np.linspace(0.2, 2.0, 16) * qcrit
+        charges = np.zeros((16, 3))
+        charges[:, 0] = grid
+        flipped = cell.run_impulse(charges, np.zeros((16, 6)))
+        # once it flips it stays flipped at larger charges
+        first = np.argmax(flipped)
+        assert np.all(flipped[first:])
+
+    def test_shift_broadcasting(self, cell):
+        charges = np.zeros((5, 3))
+        flipped = cell.run_impulse(charges, np.zeros((1, 6)))
+        assert flipped.shape == (5,)
+
+    def test_bad_shapes_rejected(self, cell):
+        with pytest.raises(ConfigError):
+            cell.run_impulse(np.zeros((2, 2)), np.zeros((2, 6)))
+        with pytest.raises(ConfigError):
+            cell.run_impulse(np.zeros((2, 3)), np.zeros((3, 6)))
+
+
+class TestPulseMode:
+    def test_pulse_matches_impulse_at_fs_width(self, cell):
+        """The paper's charge-equivalence: a fs pulse acts as an impulse."""
+        qcrit = nominal_critical_charge_c(cell.design, 0.8)
+        for factor in (0.8, 1.3):
+            charges = np.array([[factor * qcrit, 0.0, 0.0]])
+            impulse = cell.run_impulse(charges, ZERO_SHIFTS)[0]
+            pulse = cell.run_pulse(
+                charges, ZERO_SHIFTS, pulse_width_s=17e-15
+            )[0]
+            assert impulse == pulse
+
+    def test_invalid_width(self, cell):
+        with pytest.raises(ConfigError):
+            cell.run_pulse(np.zeros((1, 3)), ZERO_SHIFTS, pulse_width_s=0.0)
+
+
+class TestCriticalCharge:
+    def test_nominal_in_plausible_band(self, design):
+        qcrit = nominal_critical_charge_c(design, 0.8)
+        # advanced-node SRAM: Qcrit of order 0.05-1 fC
+        assert 2e-17 < qcrit < 1e-15
+
+    def test_increases_with_vdd(self, design):
+        qcrits = critical_charge_vs_vdd(design, [0.7, 0.9, 1.1])
+        assert np.all(np.diff(qcrits) > 0)
+
+    def test_distribution_spread(self, design):
+        rng = np.random.default_rng(5)
+        samples = critical_charge_samples_c(design, 0.8, 100, rng)
+        assert np.std(samples) > 0.0
+        nominal = nominal_critical_charge_c(design, 0.8)
+        assert np.mean(samples) == pytest.approx(nominal, rel=0.15)
+
+    def test_direction_validation(self, cell):
+        with pytest.raises(ConfigError):
+            cell.critical_charge_c(np.array([0.0, 0.0, 0.0]), ZERO_SHIFTS)
+
+
+class TestAgreementWithMnaEngine:
+    """The fast model and the full SPICE-substitute must agree on the
+    flip boundary -- they share the same device equations."""
+
+    def test_qcrit_brackets_mna_flip(self, design):
+        from repro.circuit import RectPulse, make_strike_time_grid, run_transient
+
+        vdd = 0.8
+        qcrit = nominal_critical_charge_c(design, vdd)
+        tau = design.tech.transit_time_s(vdd)
+
+        def mna_flips(charge):
+            wave = RectPulse.from_charge(charge, tau, delay_s=1e-12)
+            circuit = design.build_circuit(vdd, strike_waveforms={0: wave})
+            times = make_strike_time_grid(1e-12, tau, 6e-11)
+            result = run_transient(
+                circuit, times, initial_conditions=design.hold_state_guess(vdd)
+            )
+            return result.final_voltage("q") < result.final_voltage("qb")
+
+        # 25% margins around the fast model's Qcrit must agree
+        assert not mna_flips(0.75 * qcrit)
+        assert mna_flips(1.25 * qcrit)

@@ -1,0 +1,75 @@
+"""Figure-series generators on synthetic sweeps (fast unit coverage)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fig9_fit_vs_vdd, fig10_mbu_seu, fig11_process_variation
+from repro.physics.spectra import EnergyBins
+from repro.ser import ArrayPofResult, SerSweep, integrate_fit
+
+
+def synthetic_sweep(spec):
+    """spec: {(particle, vdd): (pof_total, pof_seu)}."""
+    sweep = SerSweep()
+    edges = np.array([1.0, 10.0])
+    bins = EnergyBins(edges, np.array([3.0]), np.array([1e-6]))
+    for (particle, vdd), (total, seu) in spec.items():
+        result = ArrayPofResult(
+            particle, 3.0, vdd, 1000, 500, 50, total, seu, total - seu, 1e-7
+        )
+        sweep.add(integrate_fit(particle, vdd, bins, [result]))
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return synthetic_sweep(
+        {
+            ("alpha", 0.7): (0.50, 0.46),
+            ("alpha", 1.1): (0.20, 0.19),
+            ("proton", 0.7): (0.30, 0.299),
+            ("proton", 1.1): (0.003, 0.003),
+        }
+    )
+
+
+class TestFig9:
+    def test_joint_normalization(self, sweep):
+        series = fig9_fit_vs_vdd(sweep)
+        peak = max(series["alpha"].y.max(), series["proton"].y.max())
+        assert peak == pytest.approx(1.0)
+
+    def test_ratios_preserved(self, sweep):
+        series = fig9_fit_vs_vdd(sweep)
+        assert series["proton"].y[0] / series["alpha"].y[0] == pytest.approx(
+            0.3 / 0.5
+        )
+
+    def test_x_axis_is_vdd(self, sweep):
+        series = fig9_fit_vs_vdd(sweep)
+        assert list(series["alpha"].x) == [0.7, 1.1]
+
+
+class TestFig10:
+    def test_percentage_units(self, sweep):
+        series = fig10_mbu_seu(sweep)
+        # alpha at 0.7: mbu/seu = 0.04/0.46
+        assert series["alpha"].y[0] == pytest.approx(100 * 0.04 / 0.46)
+
+    def test_species_present(self, sweep):
+        series = fig10_mbu_seu(sweep)
+        assert set(series) == {"alpha", "proton"}
+
+
+class TestFig11:
+    def test_normalized_by_pv_peak(self):
+        with_pv = synthetic_sweep(
+            {("alpha", 0.7): (0.5, 0.5), ("alpha", 1.1): (0.25, 0.25)}
+        )
+        without_pv = synthetic_sweep(
+            {("alpha", 0.7): (0.4, 0.4), ("alpha", 1.1): (0.25, 0.25)}
+        )
+        pv_series, nom_series = fig11_process_variation(with_pv, without_pv)
+        assert pv_series.y[0] == pytest.approx(1.0)
+        assert nom_series.y[0] == pytest.approx(0.8)
+        assert pv_series.label == "considering PV"

@@ -1,0 +1,246 @@
+"""FinFET compact model: figures of merit, symmetry, monotonicity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import NMOS, PMOS, FinFETModel, default_tech
+from repro.errors import ConfigError
+
+voltages = st.floats(0.0, 1.2, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def nmos():
+    return default_tech().nmos
+
+
+@pytest.fixture(scope="module")
+def pmos():
+    return default_tech().pmos
+
+
+class TestFiguresOfMerit:
+    def test_on_current_scale(self, nmos):
+        # 14 nm-class FinFET: tens of uA per fin at 0.8 V
+        ion = nmos.on_current(0.8)
+        assert 2.0e-5 < ion < 1.2e-4
+
+    def test_off_current_scale(self, nmos):
+        # sub-nA leakage per fin
+        assert nmos.off_current(0.8) < 2e-9
+
+    def test_on_off_ratio(self, nmos):
+        assert nmos.on_current(0.8) / nmos.off_current(0.8) > 1e4
+
+    def test_subthreshold_swing(self, nmos):
+        # FinFETs: near-ideal swing, 60-80 mV/dec
+        assert 60.0 < nmos.subthreshold_swing_mv_dec() < 85.0
+
+    def test_swing_matches_numeric(self, nmos):
+        # measured slope of log10(Id) vs Vgs deep in subthreshold
+        v1, v2 = 0.05, 0.15
+        i1 = abs(nmos.ids(0.8, v1, 0.0))
+        i2 = abs(nmos.ids(0.8, v2, 0.0))
+        swing = (v2 - v1) / np.log10(i2 / i1) * 1e3
+        assert swing == pytest.approx(nmos.subthreshold_swing_mv_dec(), rel=0.1)
+
+    def test_pmos_mirrors_nmos(self, pmos):
+        assert pmos.on_current(0.8) > 2.0e-5
+        assert pmos.off_current(0.8) < 2e-9
+
+
+class TestModelShape:
+    @given(vgs=voltages, vds=st.floats(0.01, 1.2))
+    @settings(max_examples=100, deadline=None)
+    def test_nmos_current_nonnegative_forward(self, nmos, vgs, vds):
+        assert nmos.ids(vds, vgs, 0.0) >= 0.0
+
+    @given(vgs=voltages)
+    @settings(max_examples=50, deadline=None)
+    def test_zero_vds_zero_current(self, nmos, vgs):
+        assert nmos.ids(0.0, vgs, 0.0) == pytest.approx(0.0, abs=1e-15)
+
+    @given(vds=st.floats(0.01, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_vgs(self, nmos, vds):
+        gates = np.linspace(0.0, 1.0, 21)
+        currents = [nmos.ids(vds, vg, 0.0) for vg in gates]
+        assert np.all(np.diff(currents) > -1e-18)
+
+    @given(vgs=st.floats(0.3, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_vds(self, nmos, vgs):
+        drains = np.linspace(0.0, 1.2, 25)
+        currents = [nmos.ids(vd, vgs, 0.0) for vd in drains]
+        assert np.all(np.diff(currents) > -1e-18)
+
+    def test_source_drain_symmetry(self, nmos):
+        # swapping drain and source flips the current sign
+        forward = nmos.ids(0.5, 0.8, 0.1)
+        backward = nmos.ids(0.1, 0.8, 0.5)
+        assert backward == pytest.approx(-forward, rel=1e-9)
+
+    def test_continuity_through_vds_zero(self, nmos):
+        eps = 1e-7
+        i_plus = nmos.ids(eps, 0.8, 0.0)
+        i_minus = nmos.ids(-eps, 0.8, 0.0)
+        assert abs(i_plus - i_minus) < 1e-10
+
+    def test_vectorized_evaluation(self, nmos):
+        vd = np.linspace(0, 1, 11)
+        out = nmos.ids(vd, 0.8, 0.0)
+        assert out.shape == (11,)
+
+    def test_vth_shift_reduces_current(self, nmos):
+        base = nmos.ids(0.8, 0.5, 0.0)
+        shifted = nmos.ids(0.8, 0.5, 0.0, vth_shift=0.05)
+        assert shifted < base
+
+
+class TestPmosPolarity:
+    def test_on_pmos_pulls_up(self, pmos):
+        # PMOS with source at vdd, gate low, drain low: current must
+        # flow INTO the drain node (negative drain->source current)
+        current = pmos.ids(0.0, 0.0, 0.8)
+        assert current < 0.0
+
+    def test_off_pmos_leaks_little(self, pmos):
+        assert abs(pmos.ids(0.0, 0.8, 0.8)) < 2e-9
+
+    def test_symmetry(self, pmos):
+        forward = pmos.ids(0.2, 0.0, 0.8)
+        backward = pmos.ids(0.8, 0.0, 0.2)
+        assert backward == pytest.approx(-forward, rel=1e-9)
+
+
+class TestValidation:
+    def test_polarity_checked(self):
+        with pytest.raises(ConfigError):
+            FinFETModel("bad", 0, 0.3, 1e-4, 1.3, 1.5)
+
+    def test_alpha_range_checked(self):
+        with pytest.raises(ConfigError):
+            FinFETModel("bad", NMOS, 0.3, 1e-4, 2.5, 1.5)
+
+    def test_with_shift(self):
+        model = default_tech().nmos
+        shifted = model.with_shift(0.05)
+        assert shifted.vth0_v == pytest.approx(model.vth0_v + 0.05)
+
+
+class TestTechnologyCard:
+    def test_transit_time_matches_eq2(self):
+        # tau = L^2 / (mu Vds), paper eq. 2: L=20nm, mu=300, Vds=1V
+        tech = default_tech()
+        expected = (20e-7) ** 2 / (300.0 * 1.0)
+        assert tech.transit_time_s(1.0) == pytest.approx(expected)
+
+    def test_transit_time_exceeds_10fs(self):
+        # paper: "more than 10 fs" at Vdd = 1 V
+        assert default_tech().transit_time_s(1.0) > 1.0e-14
+
+    def test_invalid_vds(self):
+        with pytest.raises(ConfigError):
+            default_tech().transit_time_s(0.0)
+
+    def test_collection_length_at_least_channel(self):
+        from repro.devices import TechnologyCard
+
+        with pytest.raises(ConfigError):
+            TechnologyCard(collection_length_nm=5.0)
+
+
+class TestTemperature:
+    def test_reference_temperature_is_identity(self):
+        model = default_tech().nmos
+        same = model.at_temperature(300.0)
+        assert same.vth0_v == pytest.approx(model.vth0_v)
+        assert same.beta_a_per_valpha == pytest.approx(model.beta_a_per_valpha)
+
+    def test_hotter_is_leakier(self):
+        model = default_tech().nmos
+        hot = model.at_temperature(398.0)
+        assert hot.off_current(0.8) > 5.0 * model.off_current(0.8)
+
+    def test_hotter_is_weaker(self):
+        model = default_tech().nmos
+        hot = model.at_temperature(398.0)
+        assert hot.on_current(0.8) < model.on_current(0.8)
+
+    def test_swing_widens_with_temperature(self):
+        model = default_tech().nmos
+        hot = model.at_temperature(398.0)
+        assert (
+            hot.subthreshold_swing_mv_dec()
+            > 1.2 * model.subthreshold_swing_mv_dec()
+        )
+
+    def test_vth_temperature_coefficient(self):
+        model = default_tech().nmos
+        hot = model.at_temperature(400.0)
+        expected = model.vth0_v - 100.0 * model.VTH_TEMP_COEFF_V_PER_K
+        assert hot.vth0_v == pytest.approx(expected)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ConfigError):
+            default_tech().nmos.at_temperature(-10.0)
+
+    def test_technology_card_helper(self):
+        from repro.devices import technology_at_temperature
+
+        hot = technology_at_temperature(default_tech(), 398.0)
+        assert hot.nmos.temperature_k == 398.0
+        assert hot.pmos.temperature_k == 398.0
+        # geometry untouched
+        assert hot.fin.height_nm == default_tech().fin.height_nm
+
+    def test_read_snm_degrades_when_hot(self):
+        from repro.devices import technology_at_temperature
+        from repro.sram import SramCellDesign
+        from repro.sram.snm import static_noise_margin_v
+
+        cold = SramCellDesign()
+        hot = SramCellDesign(
+            tech=technology_at_temperature(default_tech(), 398.0)
+        )
+        assert static_noise_margin_v(hot, 0.8, "read") < static_noise_margin_v(
+            cold, 0.8, "read"
+        )
+
+    def test_finite_pulse_qcrit_shrinks_when_hot(self):
+        """With ps-scale collection the restoring current matters:
+        hotter (weaker) devices flip at lower charge."""
+        from repro.baselines import CircuitLevelSerModel
+        from repro.devices import technology_at_temperature
+        from repro.sram import SramCellDesign
+
+        cold = CircuitLevelSerModel(SramCellDesign(), pulse_width_s=5e-12)
+        hot = CircuitLevelSerModel(
+            SramCellDesign(
+                tech=technology_at_temperature(default_tech(), 398.0)
+            ),
+            pulse_width_s=5e-12,
+        )
+        assert hot.critical_charge_c(0.8) < cold.critical_charge_c(0.8)
+
+    def test_impulse_qcrit_is_separatrix_limited(self):
+        """In the impulse limit the symmetric latch flips exactly when
+        the node crosses the diagonal separatrix: Qcrit = C * Vdd,
+        independent of temperature (documented model property)."""
+        from repro.devices import technology_at_temperature
+        from repro.sram import SramCellDesign
+        from repro.sram.qcrit import nominal_critical_charge_c
+
+        design = SramCellDesign()
+        qcrit = nominal_critical_charge_c(design, 0.8)
+        expected = design.tech.node_cap_f * 0.8
+        assert qcrit == pytest.approx(expected, rel=0.02)
+
+        hot = SramCellDesign(
+            tech=technology_at_temperature(default_tech(), 398.0)
+        )
+        assert nominal_critical_charge_c(hot, 0.8) == pytest.approx(
+            qcrit, rel=0.02
+        )

@@ -1,0 +1,135 @@
+"""FIT-rate integration (paper eqs. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.physics.spectra import EnergyBins
+from repro.ser import ArrayPofResult, integrate_fit
+from repro.units import per_second_to_fit
+
+
+def make_result(pof_total, pof_seu, pof_mbu, energy=1.0, area=1e-7):
+    return ArrayPofResult(
+        particle_name="alpha",
+        energy_mev=energy,
+        vdd_v=0.8,
+        n_particles=1000,
+        n_array_hits=500,
+        n_fin_strikes=100,
+        pof_total=pof_total,
+        pof_seu=pof_seu,
+        pof_mbu=pof_mbu,
+        launch_area_cm2=area,
+    )
+
+
+def make_bins(fluxes):
+    n = len(fluxes)
+    edges = np.logspace(0, 1, n + 1)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    return EnergyBins(edges, centers, np.asarray(fluxes, dtype=float))
+
+
+class TestIntegrateFit:
+    def test_single_bin_arithmetic(self):
+        bins = make_bins([2.0e-6])
+        result = make_result(0.5, 0.4, 0.1)
+        fit = integrate_fit("alpha", 0.8, bins, [result])
+        # rate = POF * flux * area [1/s]
+        expected = per_second_to_fit(0.5 * 2.0e-6 * 1e-7)
+        assert fit.fit_total == pytest.approx(expected)
+        assert fit.fit_seu == pytest.approx(expected * 0.4 / 0.5)
+        assert fit.fit_mbu == pytest.approx(expected * 0.1 / 0.5)
+
+    def test_linear_in_flux(self):
+        result = make_result(0.5, 0.5, 0.0)
+        fit1 = integrate_fit("alpha", 0.8, make_bins([1e-6]), [result])
+        fit2 = integrate_fit("alpha", 0.8, make_bins([2e-6]), [result])
+        assert fit2.fit_total == pytest.approx(2.0 * fit1.fit_total)
+
+    def test_additive_over_bins(self):
+        r1 = make_result(0.2, 0.2, 0.0, energy=1.0)
+        r2 = make_result(0.4, 0.4, 0.0, energy=5.0)
+        fit = integrate_fit("alpha", 0.8, make_bins([1e-6, 1e-6]), [r1, r2])
+        expected = per_second_to_fit((0.2 + 0.4) * 1e-6 * 1e-7)
+        assert fit.fit_total == pytest.approx(expected)
+
+    def test_mbu_seu_ratio(self):
+        bins = make_bins([1e-6])
+        fit = integrate_fit("alpha", 0.8, bins, [make_result(0.5, 0.4, 0.1)])
+        assert fit.mbu_to_seu_ratio == pytest.approx(0.25)
+
+    def test_zero_seu_ratio_is_zero(self):
+        bins = make_bins([1e-6])
+        fit = integrate_fit("alpha", 0.8, bins, [make_result(0.0, 0.0, 0.0)])
+        assert fit.mbu_to_seu_ratio == 0.0
+
+    def test_bin_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            integrate_fit(
+                "alpha", 0.8, make_bins([1e-6, 1e-6]), [make_result(0.1, 0.1, 0)]
+            )
+
+    def test_mismatched_areas_rejected(self):
+        bins = make_bins([1e-6, 1e-6])
+        results = [
+            make_result(0.1, 0.1, 0.0, area=1e-7),
+            make_result(0.1, 0.1, 0.0, area=2e-7),
+        ]
+        with pytest.raises(ConfigError):
+            integrate_fit("alpha", 0.8, bins, results)
+
+
+class TestArrayPofResult:
+    def test_conditional_pof(self):
+        result = make_result(0.05, 0.04, 0.01)
+        # 1000 launched, 500 through the array: conditional doubles
+        assert result.pof_total_given_hit == pytest.approx(0.1)
+        assert result.hit_fraction == pytest.approx(0.5)
+
+    def test_no_hits_degenerate(self):
+        result = ArrayPofResult(
+            "alpha", 1.0, 0.8, 1000, 0, 0, 0.0, 0.0, 0.0, 1e-7
+        )
+        assert result.pof_total_given_hit == 0.0
+        assert result.mbu_to_seu_ratio == 0.0
+
+
+class TestSerSweep:
+    def test_series_accessors(self):
+        from repro.ser import SerSweep
+
+        sweep = SerSweep()
+        bins = make_bins([1e-6])
+        for vdd, pof in ((0.7, 0.5), (0.9, 0.25)):
+            sweep.add(
+                integrate_fit(
+                    "alpha", vdd, bins, [make_result(pof, pof * 0.9, pof * 0.1)]
+                )
+            )
+        vdds, fits = sweep.fit_series("alpha")
+        assert list(vdds) == [0.7, 0.9]
+        assert fits[0] > fits[1]
+        vdds2, ratios = sweep.mbu_seu_series("alpha")
+        assert ratios[0] == pytest.approx(1.0 / 9.0)
+        assert sweep.particles() == ["alpha"]
+
+    def test_missing_result_raises(self):
+        from repro.ser import SerSweep
+
+        with pytest.raises(ConfigError):
+            SerSweep().get("alpha", 0.8)
+
+    def test_to_dict(self):
+        from repro.ser import SerSweep
+
+        sweep = SerSweep()
+        sweep.add(
+            integrate_fit(
+                "alpha", 0.8, make_bins([1e-6]), [make_result(0.1, 0.1, 0.0)]
+            )
+        )
+        payload = sweep.to_dict()
+        assert payload["kind"] == "ser_sweep"
+        assert len(payload["results"]) == 1

@@ -1,0 +1,98 @@
+"""Cross-module integration tests: the full pipeline at small scale,
+plus consistency checks between independently-implemented paths."""
+
+import numpy as np
+import pytest
+
+from repro import FlowConfig, SerFlow, get_particle
+from repro.sram import CharacterizationConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_flow():
+    config = FlowConfig(
+        particles=("alpha", "proton"),
+        vdd_list=(0.7, 1.1),
+        yield_energy_points=4,
+        yield_trials_per_energy=3000,
+        characterization=CharacterizationConfig(
+            vdd_list=(0.7, 1.1),
+            n_charge_points=15,
+            n_samples=40,
+            max_pair_points=4,
+            max_triple_points=3,
+        ),
+        array_rows=5,
+        array_cols=5,
+        n_energy_bins=3,
+        mc_particles_per_bin=15000,
+        seed=123,
+    )
+    return SerFlow(config)
+
+
+class TestHeadlineShapes:
+    """The paper's conclusions at integration-test statistics."""
+
+    def test_alpha_ser_rises_at_low_vdd(self, tiny_flow):
+        low = tiny_flow.fit("alpha", 0.7)
+        high = tiny_flow.fit("alpha", 1.1)
+        assert low.fit_total > high.fit_total
+
+    def test_proton_falls_faster_than_alpha(self, tiny_flow):
+        alpha_drop = (
+            tiny_flow.fit("alpha", 0.7).fit_total
+            / max(tiny_flow.fit("alpha", 1.1).fit_total, 1e-12)
+        )
+        proton_drop = (
+            tiny_flow.fit("proton", 0.7).fit_total
+            / max(tiny_flow.fit("proton", 1.1).fit_total, 1e-12)
+        )
+        assert proton_drop > alpha_drop
+
+    def test_alpha_mbu_exceeds_proton(self, tiny_flow):
+        alpha = tiny_flow.fit("alpha", 0.7)
+        proton = tiny_flow.fit("proton", 0.7)
+        assert alpha.mbu_to_seu_ratio > proton.mbu_to_seu_ratio
+
+
+class TestCrossPathConsistency:
+    def test_direct_and_lut_modes_same_order(self, tiny_flow):
+        import dataclasses
+
+        direct_flow = SerFlow(
+            dataclasses.replace(tiny_flow.config, deposition_mode="direct")
+        )
+        # reuse the already built cell table for speed
+        direct_flow._pof_table = tiny_flow.pof_table()
+        a = tiny_flow.fit("alpha", 0.7).fit_total
+        b = direct_flow.fit("alpha", 0.7).fit_total
+        assert a > 0 and b > 0
+        assert 0.1 < a / b < 10.0
+
+    def test_fit_linear_in_mc_repeat(self, tiny_flow):
+        """Same config + same seed stream -> identical FIT."""
+        import dataclasses
+
+        clone = SerFlow(tiny_flow.config)
+        clone._pof_table = tiny_flow.pof_table()
+        clone._yield_luts = tiny_flow.yield_luts()
+        clone._rng = np.random.default_rng(777)
+        first = clone.fit("alpha", 0.7).fit_total
+        clone._rng = np.random.default_rng(777)
+        second = clone.fit("alpha", 0.7).fit_total
+        assert first == pytest.approx(second)
+
+    def test_larger_array_higher_fit(self, tiny_flow):
+        """FIT scales with the sensitive area (eq. 7's Lx*Ly)."""
+        import dataclasses
+
+        big = SerFlow(
+            dataclasses.replace(tiny_flow.config, array_rows=10, array_cols=10)
+        )
+        big._pof_table = tiny_flow.pof_table()
+        big._yield_luts = tiny_flow.yield_luts()
+        small_fit = tiny_flow.fit("alpha", 0.7).fit_total
+        big_fit = big.fit("alpha", 0.7).fit_total
+        # 4x the cells -> roughly 2-6x the FIT (margins dilute linearity)
+        assert big_fit > 1.5 * small_fit

@@ -1,0 +1,112 @@
+"""Artifact persistence and the build cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.io import ArtifactCache, config_hash, load_artifact, save_artifact
+from repro.physics import ALPHA
+from repro.transport import ElectronYieldLUT, TransportEngine
+
+
+@pytest.fixture(scope="module")
+def lut():
+    rng = np.random.default_rng(0)
+    return ElectronYieldLUT.build(
+        ALPHA, np.array([1.0, 10.0]), 2000, rng
+    )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, lut, tmp_path):
+        path = tmp_path / "lut.json"
+        save_artifact(lut, path)
+        clone = load_artifact(path)
+        assert isinstance(clone, ElectronYieldLUT)
+        assert np.allclose(clone.mean_pairs, lut.mean_pairs)
+
+    def test_pof_table_round_trip(self, tmp_path):
+        from repro.sram import PofTable
+
+        table = PofTable(
+            vdd_list=np.array([0.7, 0.9]),
+            charge_axis_c=np.array([1e-17, 1e-16, 1e-15]),
+            pof={(0,): np.array([[0.0, 0.5, 1.0], [0.0, 0.2, 1.0]])},
+            process_variation=True,
+            n_samples=10,
+        )
+        path = tmp_path / "pof.json"
+        save_artifact(table, path)
+        clone = load_artifact(path)
+        assert isinstance(clone, PofTable)
+        assert clone.query(0.7, np.array([[1e-16, 0, 0]]))[0] == pytest.approx(0.5)
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_artifact(object(), tmp_path / "x.json")
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "weird.json"
+        path.write_text(json.dumps({"kind": "martian"}))
+        with pytest.raises(SerializationError):
+            load_artifact(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_artifact(tmp_path / "absent.json")
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        assert config_hash({"a": 1}) == config_hash({"a": 1})
+
+    def test_sensitive_to_values(self):
+        assert config_hash({"a": 1}) != config_hash({"a": 2})
+
+    def test_dataclass_support(self):
+        from repro.sram import CharacterizationConfig
+
+        c1 = CharacterizationConfig(n_samples=10)
+        c2 = CharacterizationConfig(n_samples=20)
+        assert config_hash(c1) != config_hash(c2)
+        assert config_hash(c1) == config_hash(CharacterizationConfig(n_samples=10))
+
+    def test_numpy_values_handled(self):
+        h = config_hash({"x": np.float64(1.5), "y": np.array([1, 2])})
+        assert isinstance(h, str) and len(h) == 16
+
+
+class TestArtifactCache:
+    def test_build_once(self, lut, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return lut
+
+        first = cache.get_or_build("yield", builder, {"v": 1})
+        second = cache.get_or_build("yield", builder, {"v": 1})
+        assert len(calls) == 1
+        assert np.allclose(first.mean_pairs, second.mean_pairs)
+
+    def test_config_change_rebuilds(self, lut, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return lut
+
+        cache.get_or_build("yield", builder, {"v": 1})
+        cache.get_or_build("yield", builder, {"v": 2})
+        assert len(calls) == 2
+
+    def test_corrupt_cache_recovers(self, lut, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        path = cache.path_for("yield", {"v": 1})
+        path.write_text("{ not json")
+        result = cache.get_or_build("yield", lambda: lut, {"v": 1})
+        assert isinstance(result, ElectronYieldLUT)

@@ -1,0 +1,173 @@
+"""Cell layout and array tiling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.layout import CellLayout, SramArrayLayout
+from repro.sram.cell import ROLES
+
+
+class TestCellLayout:
+    def test_all_roles_placed(self):
+        layout = CellLayout()
+        for role in ROLES:
+            box = layout.fin_box(role)
+            assert box.volume_nm3 > 0
+
+    def test_boxes_inside_cell(self):
+        layout = CellLayout()
+        for role in ROLES:
+            box = layout.fin_box(role)
+            assert box.lo[0] >= 0 and box.hi[0] <= layout.width_nm
+            assert box.lo[1] >= 0 and box.hi[1] <= layout.height_nm
+
+    def test_mirror_x(self):
+        layout = CellLayout()
+        box = layout.fin_box("pg_l")
+        mirrored = layout.fin_box("pg_l", mirror_x=True)
+        assert mirrored.center[0] == pytest.approx(
+            layout.width_nm - box.center[0]
+        )
+        assert mirrored.center[1] == pytest.approx(box.center[1])
+
+    def test_mirror_y(self):
+        layout = CellLayout()
+        box = layout.fin_box("pd_l")
+        mirrored = layout.fin_box("pd_l", mirror_y=True)
+        assert mirrored.center[1] == pytest.approx(
+            layout.height_nm - box.center[1]
+        )
+
+    def test_sensitive_volumes_do_not_overlap(self):
+        """pd/pg pairs legitimately share one continuous fin (their
+        collection volumes overlap on the shared diffusion), but no two
+        *sensitive* volumes of a cell may overlap -- that would double
+        count deposited charge."""
+        from repro.layout import SramArrayLayout
+
+        for pattern in ("uniform", "checkerboard"):
+            layout = SramArrayLayout(n_rows=1, n_cols=1, data_pattern=pattern)
+            sens = layout.packed_boxes[layout.fin_strike >= 0]
+            for i in range(len(sens)):
+                for j in range(i + 1, len(sens)):
+                    overlap = np.all(
+                        (sens[i, :3] < sens[j, 3:]) & (sens[j, :3] < sens[i, 3:])
+                    )
+                    assert not overlap
+
+    def test_collection_length_used(self):
+        layout = CellLayout(collection_length_nm=60.0)
+        box = layout.fin_box("pu_l")
+        assert box.size[1] == pytest.approx(60.0)
+
+    def test_collection_shorter_than_channel_rejected(self):
+        with pytest.raises(ConfigError):
+            CellLayout(collection_length_nm=10.0)
+
+    def test_unknown_role(self):
+        with pytest.raises(ConfigError):
+            CellLayout().fin_box("nonsense")
+
+    def test_missing_role_rejected(self):
+        with pytest.raises(ConfigError):
+            CellLayout(fin_positions={"pg_l": (8.0, 30.0)})
+
+
+class TestArrayLayout:
+    def test_fin_count(self):
+        layout = SramArrayLayout(n_rows=3, n_cols=4)
+        assert layout.n_cells == 12
+        assert layout.n_fins == 72
+
+    def test_paper_default_9x9(self):
+        layout = SramArrayLayout()
+        assert layout.n_rows == 9 and layout.n_cols == 9
+        assert layout.n_fins == 486
+
+    def test_sensitive_fraction_uniform_pattern(self):
+        # 3 of 6 devices sensitive in every cell
+        layout = SramArrayLayout(n_rows=2, n_cols=2)
+        assert layout.sensitive_fin_count() == 2 * 2 * 3
+
+    def test_index_arrays_consistent(self):
+        layout = SramArrayLayout(n_rows=2, n_cols=3)
+        assert layout.fin_cell.shape == (36,)
+        assert set(layout.fin_cell) == set(range(6))
+        assert set(layout.fin_role) == set(range(6))
+        assert set(layout.fin_strike) <= {-1, 0, 1, 2}
+
+    def test_each_cell_has_i1_i2_i3(self):
+        layout = SramArrayLayout(n_rows=2, n_cols=2)
+        for cell in range(4):
+            strikes = layout.fin_strike[layout.fin_cell == cell]
+            assert sorted(s for s in strikes if s >= 0) == [0, 1, 2]
+
+    def test_boxes_within_bounding_box(self):
+        layout = SramArrayLayout(n_rows=3, n_cols=3)
+        bbox = layout.bounding_box()
+        packed = layout.packed_boxes
+        assert np.all(packed[:, 0] >= bbox.lo[0] - 1e-9)
+        assert np.all(packed[:, 3] <= bbox.hi[0] + 1e-9)
+        assert np.all(packed[:, 1] >= bbox.lo[1] - 1e-9)
+        assert np.all(packed[:, 4] <= bbox.hi[1] + 1e-9)
+
+    def test_mirrored_tiling_sensitive_no_overlap(self):
+        layout = SramArrayLayout(n_rows=2, n_cols=2)
+        boxes = layout.packed_boxes[layout.fin_strike >= 0]
+        n = len(boxes)
+        for i in range(n):
+            for j in range(i + 1, n):
+                overlap = np.all(
+                    (boxes[i, :3] < boxes[j, 3:] - 1e-9)
+                    & (boxes[j, :3] < boxes[i, 3:] - 1e-9)
+                )
+                assert not overlap
+
+    def test_checkerboard_pattern(self):
+        layout = SramArrayLayout(n_rows=2, n_cols=2, data_pattern="checkerboard")
+        assert layout.stored_bit(0, 0) == 1
+        assert layout.stored_bit(0, 1) == 0
+        assert layout.stored_bit(1, 1) == 1
+        # sensitivity switches sides for q=0 cells
+        cell_01 = 1  # row 0, col 1 stores 0
+        roles = layout.fin_role[
+            (layout.fin_cell == cell_01) & (layout.fin_strike >= 0)
+        ]
+        role_names = {ROLES[r] for r in roles}
+        assert role_names == {"pd_r", "pu_l", "pg_l"}
+
+    def test_launch_window_includes_margin(self):
+        layout = SramArrayLayout(n_rows=2, n_cols=2)
+        x_range, y_range, z, area = layout.launch_window(margin_nm=50.0)
+        assert x_range[0] == -50.0
+        assert x_range[1] == layout.width_nm + 50.0
+        assert z > layout.cell.fin.height_nm
+        assert area > layout.area_cm2()
+
+    def test_area_cm2(self):
+        layout = SramArrayLayout(n_rows=9, n_cols=9)
+        expected = (9 * layout.cell.width_nm * 1e-7) * (
+            9 * layout.cell.height_nm * 1e-7
+        )
+        assert layout.area_cm2() == pytest.approx(expected)
+
+    def test_invalid_pattern(self):
+        with pytest.raises(ConfigError):
+            SramArrayLayout(data_pattern="stripes")
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            SramArrayLayout(n_rows=0)
+
+    def test_adjacent_sensitive_fins_near_boundary(self):
+        """Mirrored tiling pulls outer sensitive fins of neighbouring
+        cells within ~2 * edge offset -- the MBU-enabling adjacency."""
+        layout = SramArrayLayout(n_rows=1, n_cols=2)
+        sens = layout.packed_boxes[layout.fin_strike >= 0]
+        centers_x = 0.5 * (sens[:, 0] + sens[:, 3])
+        cell_of = layout.fin_cell[layout.fin_strike >= 0]
+        c0 = centers_x[cell_of == 0]
+        c1 = centers_x[cell_of == 1]
+        min_gap = min(abs(a - b) for a in c0 for b in c1)
+        assert min_gap < 0.25 * layout.cell.width_nm

@@ -1,0 +1,77 @@
+"""Material records: parameters, validation, registry."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.materials import (
+    BEOL_DIELECTRIC,
+    MATERIALS,
+    SILICON,
+    SILICON_DIOXIDE,
+    SUBSTRATE_SILICON,
+    Material,
+    get_material,
+)
+
+
+class TestSilicon:
+    def test_z_over_a(self):
+        assert SILICON.z_over_a == pytest.approx(14.0 / 28.0855)
+
+    def test_density(self):
+        assert SILICON.density_g_cm3 == pytest.approx(2.329)
+
+    def test_pair_energy_is_papers(self):
+        assert SILICON.pair_energy_ev == 3.6
+
+    def test_collects_charge(self):
+        assert SILICON.collects_charge
+
+    def test_electron_density(self):
+        # ~7e23 electrons / cm^3 in silicon
+        assert SILICON.electrons_per_cm3() == pytest.approx(7.0e23, rel=0.02)
+
+
+class TestOtherMaterials:
+    def test_substrate_does_not_collect(self):
+        # the BOX blocks diffusion charge from the substrate (paper 3.3)
+        assert not SUBSTRATE_SILICON.collects_charge
+
+    def test_box_does_not_collect(self):
+        assert not SILICON_DIOXIDE.collects_charge
+
+    def test_sio2_z_over_a(self):
+        assert SILICON_DIOXIDE.z_over_a == pytest.approx(30.0 / 60.0843)
+
+    def test_beol_lighter_than_oxide(self):
+        assert BEOL_DIELECTRIC.density_g_cm3 < SILICON_DIOXIDE.density_g_cm3
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_material("Si") is SILICON
+
+    def test_all_registered(self):
+        assert set(MATERIALS) == {"Si", "SiO2", "Si-substrate", "BEOL"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_material("unobtainium")
+
+
+class TestValidation:
+    def test_negative_density_rejected(self):
+        with pytest.raises(ConfigError):
+            Material("bad", 14, 28, -1.0, 173.0)
+
+    def test_zero_z_rejected(self):
+        with pytest.raises(ConfigError):
+            Material("bad", 0, 28, 2.3, 173.0)
+
+    def test_zero_excitation_rejected(self):
+        with pytest.raises(ConfigError):
+            Material("bad", 14, 28, 2.3, 0.0)
+
+    def test_collecting_material_needs_pair_energy(self):
+        with pytest.raises(ConfigError):
+            Material("bad", 14, 28, 2.3, 173.0, pair_energy_ev=None, collects_charge=True)

@@ -1,0 +1,168 @@
+"""Neutron indirect-ionization extension (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, PhysicsError
+from repro.physics.neutron import (
+    ELASTIC_MAX_TRANSFER,
+    NeutronInteractionModel,
+    SeaLevelNeutronSpectrum,
+    SECONDARY_ALPHA,
+    SECONDARY_FRAGMENT,
+    SECONDARY_PROTON,
+    SECONDARY_SI_RECOIL,
+    si_recoil_let_kev_per_nm,
+)
+
+
+class TestNeutronSpectrum:
+    def test_total_flux_matches_jedec_scale(self):
+        # JESD89A: ~13 n/(cm^2 h) = 3.6e-3 n/(cm^2 s) above 1 MeV
+        spectrum = SeaLevelNeutronSpectrum()
+        total = spectrum.integral_flux(1.0, 1000.0)
+        assert total == pytest.approx(3.6e-3, rel=0.15)
+
+    def test_monotone_decreasing(self):
+        spectrum = SeaLevelNeutronSpectrum()
+        energies = np.logspace(-1, 3, 100)
+        flux = spectrum.differential_flux(energies)
+        assert np.all(np.diff(flux) <= 0)
+
+    def test_out_of_range_zero(self):
+        spectrum = SeaLevelNeutronSpectrum()
+        assert spectrum.differential_flux(5000.0) == 0.0
+
+    def test_neutron_flux_exceeds_alpha_emission(self):
+        # the reason neutron SER matters at all despite tiny reaction
+        # probabilities: ~1e4 more neutrons than package alphas
+        from repro.physics import AlphaEmissionSpectrum
+
+        neutron = SeaLevelNeutronSpectrum().integral_flux(1.0, 1000.0)
+        alpha = AlphaEmissionSpectrum().integral_flux(0.1, 10.0)
+        assert neutron > 1.0e3 * alpha
+
+
+class TestInteractionModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return NeutronInteractionModel()
+
+    def test_reaction_probability_scale(self, model):
+        # ~1e-7 per 30 nm fin crossing: the SOI FinFET suppression
+        p = model.reaction_probability(10.0, 30.0)[0]
+        assert 1e-8 < p < 1e-5
+
+    def test_probability_linear_in_chord(self, model):
+        p1 = model.reaction_probability(10.0, 10.0)[0]
+        p2 = model.reaction_probability(10.0, 20.0)[0]
+        assert p2 == pytest.approx(2.0 * p1)
+
+    def test_channels_gated_by_threshold(self, model):
+        low = model.channel_cross_sections_cm2(1.0)[0]
+        high = model.channel_cross_sections_cm2(50.0)[0]
+        assert low[SECONDARY_ALPHA] == 0.0
+        assert low[SECONDARY_FRAGMENT] == 0.0
+        assert high[SECONDARY_ALPHA] > 0.0
+        assert high[SECONDARY_PROTON] > 0.0
+        assert high[SECONDARY_FRAGMENT] > 0.0
+
+    def test_elastic_recoil_energy_bounded(self, model):
+        rng = np.random.default_rng(0)
+        species, energy = model.sample_secondaries(10.0, 5000, rng)
+        recoils = energy[species == SECONDARY_SI_RECOIL]
+        assert len(recoils) > 0
+        assert np.all(recoils <= ELASTIC_MAX_TRANSFER * 10.0 + 1e-9)
+
+    def test_secondary_energies_positive(self, model):
+        rng = np.random.default_rng(1)
+        _, energy = model.sample_secondaries(100.0, 5000, rng)
+        assert np.all(energy > 0)
+
+    def test_no_channel_at_zero_raises(self):
+        model = NeutronInteractionModel(sigma_elastic_barn=0.0)
+        with pytest.raises(PhysicsError):
+            model.sample_secondaries(1.0, 10, np.random.default_rng(0))
+
+    def test_secondary_let_by_species(self, model):
+        species = np.array(
+            [SECONDARY_SI_RECOIL, SECONDARY_ALPHA, SECONDARY_PROTON]
+        )
+        energy = np.array([1.0, 1.0, 1.0])
+        let = model.secondary_let_kev_per_nm(species, energy)
+        # recoil LET >> alpha LET >> proton LET at 1 MeV
+        assert let[0] > let[1] > let[2]
+
+    def test_recoil_let_table(self):
+        # peaks in the MeV region at ~3 keV/nm
+        assert 2.0 < si_recoil_let_kev_per_nm(3.0) < 4.0
+        with pytest.raises(PhysicsError):
+            si_recoil_let_kev_per_nm(0.0)
+
+
+class TestNeutronSer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        from repro.layout import SramArrayLayout
+        from repro.sram import (
+            CharacterizationConfig,
+            SramCellDesign,
+            characterize_cell,
+        )
+
+        design = SramCellDesign()
+        table = characterize_cell(
+            design,
+            CharacterizationConfig(
+                vdd_list=(0.7, 1.1),
+                n_charge_points=15,
+                n_samples=40,
+                max_pair_points=4,
+                max_triple_points=3,
+            ),
+        )
+        return SramArrayLayout(), table
+
+    def test_pof_scale_is_reaction_limited(self, setup):
+        from repro.ser.neutron_mc import NeutronSerSimulator
+
+        layout, table = setup
+        sim = NeutronSerSimulator(layout, table)
+        result = sim.run(10.0, 0.7, 30000, np.random.default_rng(2))
+        # per-launched-neutron POF ~ crossing fraction x 1e-7
+        assert 0.0 < result.pof_total < 1e-5
+
+    def test_fit_below_alpha(self, setup):
+        """SOI FinFET: neutron SER far below alpha SER (cf. [12])."""
+        from repro.ser.neutron_mc import neutron_fit
+
+        layout, table = setup
+        fit = neutron_fit(
+            layout, table, 0.7, 20000, np.random.default_rng(3), n_bins=4
+        )
+        assert fit.fit_total > 0.0
+        # alpha FIT at the same table/layout scale is ~1e-3..1e-4; the
+        # neutron rate must come out orders of magnitude below
+        assert fit.fit_total < 1.0e-4
+
+    def test_weak_vdd_dependence(self, setup):
+        """Secondary deposits are far above Qcrit: the neutron SER is
+        reaction-rate limited, so Vdd barely matters."""
+        from repro.ser.neutron_mc import neutron_fit
+
+        layout, table = setup
+        rng1 = np.random.default_rng(4)
+        rng2 = np.random.default_rng(4)
+        low = neutron_fit(layout, table, 0.7, 20000, rng1, n_bins=3)
+        high = neutron_fit(layout, table, 1.1, 20000, rng2, n_bins=3)
+        assert low.fit_total == pytest.approx(high.fit_total, rel=0.25)
+
+    def test_validation(self, setup):
+        from repro.ser.neutron_mc import NeutronSerSimulator
+
+        layout, table = setup
+        sim = NeutronSerSimulator(layout, table)
+        with pytest.raises(ConfigError):
+            sim.run(-1.0, 0.7, 100, np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            sim.run(1.0, 0.7, 0, np.random.default_rng(0))

@@ -1,0 +1,117 @@
+"""Fast Qcrit-CDF POF model vs the paper-faithful grid tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sram import (
+    CharacterizationConfig,
+    SramCellDesign,
+    characterize_cell,
+)
+from repro.sram.pof_cdf import QcritCdfModel
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+@pytest.fixture(scope="module")
+def cdf_model(design):
+    return QcritCdfModel.characterize(
+        design, (0.7, 0.9), n_samples=120, seed=8
+    )
+
+
+@pytest.fixture(scope="module")
+def grid_table(design):
+    config = CharacterizationConfig(
+        vdd_list=(0.7, 0.9),
+        n_charge_points=25,
+        n_samples=120,
+        max_pair_points=6,
+        max_triple_points=4,
+        seed=8,
+    )
+    return characterize_cell(design, config)
+
+
+class TestStructure:
+    def test_weights_normalized_to_i1(self, cdf_model):
+        for vdd, weights in cdf_model.weights.items():
+            assert weights[0] == pytest.approx(1.0)
+            # cross-strike effectiveness is within 3x of I1
+            assert np.all(weights > 0.3)
+            assert np.all(weights < 3.0)
+
+    def test_samples_sorted(self, cdf_model):
+        for samples in cdf_model.qcrit_samples.values():
+            assert np.all(np.diff(samples) >= 0)
+
+    def test_qcrit_grows_with_vdd(self, cdf_model):
+        med_lo, _ = cdf_model.qcrit_statistics(0.7)
+        med_hi, _ = cdf_model.qcrit_statistics(0.9)
+        assert med_hi > med_lo
+
+    def test_empty_vdd_rejected(self, design):
+        with pytest.raises(ConfigError):
+            QcritCdfModel.characterize(design, ())
+
+
+class TestQueries:
+    def test_zero_charge_zero_pof(self, cdf_model):
+        assert np.all(cdf_model.query(0.8, np.zeros((2, 3))) == 0.0)
+
+    def test_extremes(self, cdf_model):
+        tiny = cdf_model.query(0.7, np.array([[1e-18, 0, 0]]))[0]
+        huge = cdf_model.query(0.7, np.array([[1e-14, 0, 0]]))[0]
+        assert tiny == 0.0
+        assert huge == 1.0
+
+    def test_monotone_in_charge(self, cdf_model):
+        charges = np.zeros((20, 3))
+        charges[:, 0] = np.logspace(-17, -14, 20)
+        pofs = cdf_model.query(0.7, charges)
+        assert np.all(np.diff(pofs) >= -1e-12)
+
+    def test_vdd_interpolation(self, cdf_model):
+        charges = np.array([[2.0e-16, 0, 0]])
+        lo = cdf_model.query(0.7, charges)[0]
+        hi = cdf_model.query(0.9, charges)[0]
+        mid = cdf_model.query(0.8, charges)[0]
+        assert min(lo, hi) - 1e-12 <= mid <= max(lo, hi) + 1e-12
+
+    def test_negative_rejected(self, cdf_model):
+        with pytest.raises(ConfigError):
+            cdf_model.query(0.7, np.array([[-1e-16, 0, 0]]))
+
+
+class TestAgreementWithGridTable:
+    """DESIGN.md section 5: the fast model validates against the grid."""
+
+    @pytest.mark.parametrize("vdd", [0.7, 0.9])
+    def test_single_strike_agreement(self, cdf_model, grid_table, vdd):
+        charges = np.zeros((15, 3))
+        charges[:, 0] = np.logspace(
+            np.log10(5e-17), np.log10(1e-15), 15
+        )
+        grid_pof = grid_table.query(vdd, charges)
+        cdf_pof = cdf_model.query(vdd, charges)
+        # agreement within 0.15 absolute POF everywhere on the curve
+        assert np.max(np.abs(grid_pof - cdf_pof)) < 0.15
+
+    def test_pair_strike_agreement(self, cdf_model, grid_table):
+        charges = np.zeros((10, 3))
+        half = np.logspace(np.log10(4e-17), np.log10(4e-16), 10)
+        charges[:, 0] = half
+        charges[:, 1] = half
+        grid_pof = grid_table.query(0.7, charges)
+        cdf_pof = cdf_model.query(0.7, charges)
+        assert np.max(np.abs(grid_pof - cdf_pof)) < 0.25
+
+    def test_crossing_point_agreement(self, cdf_model, grid_table):
+        """The POF=0.5 charge agrees within ~20%."""
+        q_grid = grid_table.critical_charge_c(0.7)
+        med, _ = cdf_model.qcrit_statistics(0.7)
+        assert med == pytest.approx(q_grid, rel=0.2)

@@ -1,0 +1,160 @@
+"""Cluster offsets and ECC/interleaving analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.physics.spectra import EnergyBins
+from repro.reliability import EccScheme, word_failure_rates
+from repro.reliability.ecc import DEC_TED, NO_ECC, SEC_DED, same_word_pair_fraction
+from repro.ser import ArrayPofResult, integrate_fit
+from repro.ser.clusters import PairOffsetStatistics
+
+
+def make_fit(seu, mbu):
+    edges = np.array([1.0, 10.0])
+    bins = EnergyBins(edges, np.array([3.0]), np.array([1e-6]))
+    pof = seu + mbu
+    result = ArrayPofResult(
+        "alpha", 3.0, 0.7, 1000, 500, 100, pof, seu, mbu, 1e-7
+    )
+    return integrate_fit("alpha", 0.7, bins, [result])
+
+
+def make_offsets(pairs):
+    return PairOffsetStatistics(dict(pairs), n_particles=1000)
+
+
+class TestPairOffsetStatistics:
+    def test_rates(self):
+        stats = make_offsets({(0, 1): 0.6, (1, 0): 0.3, (1, 1): 0.1})
+        assert stats.total_pair_rate == pytest.approx(1.0)
+        assert stats.same_row_rate() == pytest.approx(0.6)
+        assert stats.same_column_rate() == pytest.approx(0.3)
+
+    def test_max_column_extent(self):
+        stats = make_offsets({(0, 1): 0.9, (0, 5): 0.1, (0, 9): 0.0001})
+        assert stats.max_column_extent() == 5
+
+    def test_empty(self):
+        stats = make_offsets({})
+        assert stats.total_pair_rate == 0.0
+        assert stats.max_column_extent() == 0
+
+
+class TestSameWordFraction:
+    def test_adjacent_columns_separated_by_interleave(self):
+        stats = make_offsets({(0, 1): 1.0})
+        assert same_word_pair_fraction(stats, 1) == pytest.approx(1.0)
+        assert same_word_pair_fraction(stats, 2) == pytest.approx(0.0)
+
+    def test_multiples_of_distance_share_word(self):
+        stats = make_offsets({(0, 4): 0.5, (0, 3): 0.5})
+        assert same_word_pair_fraction(stats, 4) == pytest.approx(0.5)
+
+    def test_cross_row_pairs_never_share(self):
+        stats = make_offsets({(1, 0): 1.0})
+        assert same_word_pair_fraction(stats, 1) == pytest.approx(0.0)
+
+    def test_invalid_distance(self):
+        with pytest.raises(ConfigError):
+            same_word_pair_fraction(make_offsets({}), 0)
+
+
+class TestWordFailureRates:
+    def test_no_ecc_counts_everything(self):
+        fit = make_fit(seu=0.9, mbu=0.1)
+        offsets = make_offsets({(0, 1): 1.0})
+        analysis = word_failure_rates(fit, offsets, NO_ECC, 4)
+        assert analysis.uncorrectable_rate == pytest.approx(
+            fit.fit_seu + fit.fit_mbu
+        )
+
+    def test_secded_leaves_same_word_mbu(self):
+        fit = make_fit(seu=0.9, mbu=0.1)
+        offsets = make_offsets({(0, 4): 0.5, (1, 1): 0.5})
+        analysis = word_failure_rates(fit, offsets, SEC_DED, 4)
+        assert analysis.uncorrectable_rate == pytest.approx(0.5 * fit.fit_mbu)
+        assert analysis.correction_gain > 1.0
+
+    def test_interleaving_improves_secded(self):
+        fit = make_fit(seu=0.9, mbu=0.1)
+        offsets = make_offsets({(0, 1): 0.8, (1, 0): 0.2})
+        tight = word_failure_rates(fit, offsets, SEC_DED, 1)
+        spread = word_failure_rates(fit, offsets, SEC_DED, 4)
+        assert spread.uncorrectable_rate < tight.uncorrectable_rate
+
+    def test_dected_second_order(self):
+        fit = make_fit(seu=0.9, mbu=0.1)
+        offsets = make_offsets({(0, 1): 1.0})
+        sec = word_failure_rates(fit, offsets, SEC_DED, 1)
+        dec = word_failure_rates(fit, offsets, DEC_TED, 1)
+        assert dec.uncorrectable_rate <= sec.uncorrectable_rate
+
+    def test_scheme_validation(self):
+        with pytest.raises(ConfigError):
+            EccScheme("bad", -1)
+
+
+class TestCollectedOffsetsIntegration:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        from repro.geometry import FinGeometry, SoiFinWorld
+        from repro.layout import SramArrayLayout
+        from repro.physics import ALPHA
+        from repro.ser import ArraySerSimulator, collect_pair_offsets
+        from repro.sram import (
+            CharacterizationConfig,
+            SramCellDesign,
+            characterize_cell,
+        )
+        from repro.transport import ElectronYieldLUT, TransportEngine
+
+        design = SramCellDesign()
+        table = characterize_cell(
+            design,
+            CharacterizationConfig(
+                vdd_list=(0.7,),
+                n_charge_points=15,
+                n_samples=40,
+                max_pair_points=4,
+                max_triple_points=3,
+            ),
+        )
+        fin = FinGeometry(
+            design.tech.collection_length_nm,
+            design.tech.fin.width_nm,
+            design.tech.fin.height_nm,
+        )
+        lut = ElectronYieldLUT.build(
+            ALPHA,
+            np.logspace(-1, 1, 4),
+            3000,
+            np.random.default_rng(0),
+            engine=TransportEngine(SoiFinWorld(fin=fin)),
+        )
+        sim = ArraySerSimulator(SramArrayLayout(), table, {"alpha": lut})
+        return collect_pair_offsets(
+            sim, ALPHA, 2.0, 0.7, 30000, np.random.default_rng(1)
+        )
+
+    def test_pairs_found(self, stats):
+        assert stats.total_pair_rate > 0.0
+
+    def test_clusters_are_compact(self, stats):
+        """Physical MBU pairs are near neighbours (offsets <= 2 cells)."""
+        total = stats.total_pair_rate
+        compact = sum(
+            rate
+            for (dr, dc), rate in stats.expected_pairs.items()
+            if dr <= 2 and dc <= 2
+        )
+        assert compact / total > 0.95
+
+    def test_adjacent_column_pairs_dominate(self, stats):
+        """The mirrored tiling makes (0, 1) the top offset."""
+        top = max(stats.expected_pairs.items(), key=lambda kv: kv[1])
+        assert top[0] == (0, 1)
+
+    def test_interleaving_by_two_separates(self, stats):
+        assert same_word_pair_fraction(stats, 2) < 0.05

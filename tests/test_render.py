@@ -1,0 +1,53 @@
+"""SVG layout rendering."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.layout import SramArrayLayout, array_layout_svg, write_layout_svg
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return SramArrayLayout(2, 3)
+
+
+class TestSvgRendering:
+    def test_well_formed_xml(self, layout):
+        svg = array_layout_svg(layout)
+        xml.dom.minidom.parseString(svg)
+
+    def test_one_rect_per_fin(self, layout):
+        svg = array_layout_svg(layout, show_labels=False)
+        dom = xml.dom.minidom.parseString(svg)
+        rects = dom.getElementsByTagName("rect")
+        # background + one per fin
+        assert len(rects) == 1 + layout.n_fins
+
+    def test_sensitive_fins_colored(self, layout):
+        svg = array_layout_svg(layout, show_labels=False)
+        # the I1 color appears exactly once per cell
+        assert svg.count("#d62728") == layout.n_cells
+
+    def test_labels_present(self, layout):
+        svg = array_layout_svg(layout, show_labels=True)
+        for role in ("pu_l", "pd_r", "pg_r"):
+            assert role in svg
+        assert "100 nm" in svg
+
+    def test_write_to_file(self, layout, tmp_path):
+        path = write_layout_svg(layout, tmp_path / "array.svg")
+        assert path.exists()
+        xml.dom.minidom.parse(str(path))
+
+    def test_scale_validation(self, layout):
+        with pytest.raises(ConfigError):
+            array_layout_svg(layout, scale=0.0)
+
+    def test_checkerboard_renders(self):
+        layout = SramArrayLayout(2, 2, data_pattern="checkerboard")
+        svg = array_layout_svg(layout, show_labels=False)
+        xml.dom.minidom.parseString(svg)
+        # sensitivity still 3 per cell
+        assert svg.count("#d62728") == 4

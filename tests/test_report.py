@@ -1,0 +1,60 @@
+"""Text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import comparison_report, fit_report, format_table
+from repro.physics.spectra import EnergyBins
+from repro.ser import ArrayPofResult, SerSweep, integrate_fit
+
+
+def make_sweep(values):
+    sweep = SerSweep()
+    edges = np.array([1.0, 10.0])
+    bins = EnergyBins(edges, np.array([3.0]), np.array([1e-6]))
+    for (particle, vdd), pof in values.items():
+        result = ArrayPofResult(
+            particle, 3.0, vdd, 1000, 500, 100, pof, 0.9 * pof, 0.1 * pof, 1e-7
+        )
+        sweep.add(integrate_fit(particle, vdd, bins, [result]))
+    return sweep
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["x"], [[1.23e-9]])
+        assert "e-09" in text
+
+    def test_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+
+class TestFitReport:
+    def test_normalization(self):
+        sweep = make_sweep({("alpha", 0.7): 0.5, ("alpha", 0.9): 0.25})
+        text = fit_report(sweep)
+        # the peak row normalizes to 1
+        assert " 1  " in text or " 1\n" in text or "  1" in text
+        assert "alpha" in text
+        assert "MBU/SEU" in text
+
+    def test_absolute_mode(self):
+        sweep = make_sweep({("alpha", 0.7): 0.5})
+        text = fit_report(sweep, normalize=False)
+        assert "alpha" in text
+
+
+class TestComparisonReport:
+    def test_ratio_column(self):
+        a = make_sweep({("alpha", 0.7): 0.5, ("alpha", 0.9): 0.2})
+        b = make_sweep({("alpha", 0.7): 0.25, ("alpha", 0.9): 0.2})
+        text = comparison_report("pv", a, "nom", b, "alpha")
+        assert "pv/nom" in text
+        assert "2" in text  # the 0.5/0.25 ratio

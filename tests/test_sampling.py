@@ -1,0 +1,116 @@
+"""Angular and positional sampling laws."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.physics import (
+    DIRECTION_LAWS,
+    sample_directions,
+    sample_positions_on_plane,
+    sample_rays,
+)
+
+
+class TestDirections:
+    @pytest.mark.parametrize("law", DIRECTION_LAWS)
+    def test_unit_vectors(self, law):
+        rng = np.random.default_rng(0)
+        d = sample_directions(5000, rng, law)
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    @pytest.mark.parametrize("law", DIRECTION_LAWS)
+    def test_all_downward(self, law):
+        rng = np.random.default_rng(1)
+        d = sample_directions(5000, rng, law)
+        assert np.all(d[:, 2] < 0.0)
+
+    def test_cosine_law_mean(self):
+        # cosine law: E[cos(theta)] = 2/3
+        rng = np.random.default_rng(2)
+        d = sample_directions(100000, rng, "cosine")
+        assert np.mean(-d[:, 2]) == pytest.approx(2.0 / 3.0, abs=0.01)
+
+    def test_isotropic_law_mean(self):
+        # uniform cos(theta): E[cos(theta)] = 1/2
+        rng = np.random.default_rng(3)
+        d = sample_directions(100000, rng, "isotropic")
+        assert np.mean(-d[:, 2]) == pytest.approx(0.5, abs=0.01)
+
+    def test_cosine_steeper_than_isotropic(self):
+        # protons (cosine) arrive steeper than package alphas (isotropic)
+        rng = np.random.default_rng(4)
+        cos_c = -sample_directions(50000, rng, "cosine")[:, 2]
+        cos_i = -sample_directions(50000, rng, "isotropic")[:, 2]
+        grazing_c = np.mean(cos_c < 0.2)
+        grazing_i = np.mean(cos_i < 0.2)
+        assert grazing_i > 2.0 * grazing_c
+
+    def test_azimuthal_uniformity(self):
+        rng = np.random.default_rng(5)
+        d = sample_directions(100000, rng, "isotropic")
+        phi = np.arctan2(d[:, 1], d[:, 0])
+        assert np.mean(np.cos(phi)) == pytest.approx(0.0, abs=0.02)
+        assert np.mean(np.sin(phi)) == pytest.approx(0.0, abs=0.02)
+
+    def test_unknown_law_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_directions(10, np.random.default_rng(0), "beamline")
+
+
+class TestPositions:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(6)
+        p = sample_positions_on_plane(10000, rng, (-5, 15), (0, 30), 42.0)
+        assert np.all((p[:, 0] >= -5) & (p[:, 0] <= 15))
+        assert np.all((p[:, 1] >= 0) & (p[:, 1] <= 30))
+        assert np.all(p[:, 2] == 42.0)
+
+    def test_uniform_coverage(self):
+        rng = np.random.default_rng(7)
+        p = sample_positions_on_plane(100000, rng, (0, 10), (0, 10), 0.0)
+        assert np.mean(p[:, 0]) == pytest.approx(5.0, abs=0.05)
+
+    def test_degenerate_rectangle_rejected(self):
+        with pytest.raises(ConfigError):
+            sample_positions_on_plane(
+                10, np.random.default_rng(0), (5, 5), (0, 1), 0.0
+            )
+
+
+class TestRays:
+    def test_batch_assembled(self):
+        rng = np.random.default_rng(8)
+        rays = sample_rays(100, rng, (0, 10), (0, 10), 50.0, "cosine")
+        assert len(rays) == 100
+        assert np.all(rays.origins[:, 2] == 50.0)
+        assert np.all(rays.directions[:, 2] < 0)
+
+
+class TestBeamLaw:
+    def test_fixed_zenith(self):
+        rng = np.random.default_rng(10)
+        d = sample_directions(2000, rng, "beam:0.5")
+        assert np.allclose(-d[:, 2], 0.5)
+        assert np.allclose(np.linalg.norm(d, axis=1), 1.0)
+
+    def test_azimuth_uniform(self):
+        rng = np.random.default_rng(11)
+        d = sample_directions(50000, rng, "beam:0.7")
+        phi = np.arctan2(d[:, 1], d[:, 0])
+        assert abs(np.mean(np.cos(phi))) < 0.02
+
+    def test_normal_incidence(self):
+        rng = np.random.default_rng(12)
+        d = sample_directions(100, rng, "beam:1.0")
+        assert np.allclose(d[:, 2], -1.0)
+        assert np.allclose(d[:, 0], 0.0, atol=1e-9)
+
+    def test_malformed_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigError):
+            sample_directions(10, rng, "beam:nope")
+        with pytest.raises(ConfigError):
+            sample_directions(10, rng, "beam:0.0")
+        with pytest.raises(ConfigError):
+            sample_directions(10, rng, "beam:1.5")

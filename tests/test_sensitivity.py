@@ -1,0 +1,111 @@
+"""Parameter sensitivity analysis."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import FlowConfig
+from repro.analysis import (
+    SENSITIVITY_PARAMETERS,
+    perturb_technology,
+    ser_sensitivities,
+)
+from repro.devices import default_tech
+from repro.errors import ConfigError
+from repro.sram import CharacterizationConfig
+
+
+class TestPerturbTechnology:
+    def test_node_cap(self):
+        tech = default_tech()
+        perturbed = perturb_technology(tech, "node_cap", 0.1)
+        assert perturbed.node_cap_f == pytest.approx(1.1 * tech.node_cap_f)
+
+    def test_vth_moves_both_flavours(self):
+        tech = default_tech()
+        perturbed = perturb_technology(tech, "vth", -0.1)
+        assert perturbed.nmos.vth0_v == pytest.approx(0.9 * tech.nmos.vth0_v)
+        assert perturbed.pmos.vth0_v == pytest.approx(0.9 * tech.pmos.vth0_v)
+
+    def test_fin_height(self):
+        tech = default_tech()
+        perturbed = perturb_technology(tech, "fin_height", 0.2)
+        assert perturbed.fin.height_nm == pytest.approx(1.2 * tech.fin.height_nm)
+        assert perturbed.fin.length_nm == tech.fin.length_nm
+
+    def test_collection_length(self):
+        tech = default_tech()
+        perturbed = perturb_technology(tech, "collection", 0.5)
+        assert perturbed.collection_length_nm == pytest.approx(
+            1.5 * tech.collection_length_nm
+        )
+
+    def test_base_untouched(self):
+        tech = default_tech()
+        perturb_technology(tech, "node_cap", 0.5)
+        assert tech.node_cap_f == default_tech().node_cap_f
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigError):
+            perturb_technology(default_tech(), "magic", 0.1)
+
+    def test_nonpositive_factor(self):
+        with pytest.raises(ConfigError):
+            perturb_technology(default_tech(), "node_cap", -1.5)
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return FlowConfig(
+        particles=("alpha",),
+        vdd_list=(0.7,),
+        yield_energy_points=4,
+        yield_trials_per_energy=2500,
+        characterization=CharacterizationConfig(
+            vdd_list=(0.7,),
+            n_charge_points=15,
+            n_samples=35,
+            max_pair_points=4,
+            max_triple_points=3,
+        ),
+        array_rows=5,
+        array_cols=5,
+        n_energy_bins=3,
+        mc_particles_per_bin=12000,
+        seed=7,
+    )
+
+
+class TestSensitivities:
+    @pytest.fixture(scope="class")
+    def results(self, small_config):
+        return {
+            r.parameter: r
+            for r in ser_sensitivities(
+                small_config,
+                parameters=("node_cap", "fin_height", "collection"),
+                relative_delta=0.25,
+            )
+        }
+
+    def test_node_cap_strongly_negative(self, results):
+        # bigger storage cap -> bigger Qcrit -> fewer upsets
+        assert results["node_cap"].elasticity < -1.0
+
+    def test_fin_height_positive(self, results):
+        # taller fins collect more charge and present more area
+        assert results["fin_height"].elasticity > 0.0
+
+    def test_collection_positive(self, results):
+        assert results["collection"].elasticity > 0.0
+
+    def test_common_base(self, results):
+        bases = {r.fit_base for r in results.values()}
+        assert len(bases) == 1
+
+    def test_nan_elasticity_on_zero_fit(self):
+        from repro.analysis import SensitivityResult
+
+        result = SensitivityResult("x", 0.1, 0.0, 1.0)
+        assert np.isnan(result.elasticity)

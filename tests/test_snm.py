@@ -1,0 +1,78 @@
+"""Static noise margin extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.sram import SramCellDesign
+from repro.sram.snm import (
+    inverter_transfer_curve,
+    snm_vs_vdd,
+    static_noise_margin_v,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+class TestTransferCurve:
+    def test_monotone_decreasing(self, design):
+        vin, vout = inverter_transfer_curve(design, 0.8, 31)
+        assert vout[0] > 0.75
+        assert vout[-1] < 0.05
+        assert np.all(np.diff(vout) <= 1e-6)
+
+    def test_read_mode_degrades_low_level(self, design):
+        _, hold = inverter_transfer_curve(design, 0.8, 31, "hold")
+        _, read = inverter_transfer_curve(design, 0.8, 31, "read")
+        # with the access device fighting the pull-down, the low output
+        # is lifted above the hold-mode low output
+        assert read[-1] > hold[-1]
+
+    def test_invalid_mode(self, design):
+        with pytest.raises(ConfigError):
+            inverter_transfer_curve(design, 0.8, 31, "write")
+
+
+class TestSnm:
+    def test_hold_snm_plausible(self, design):
+        snm = static_noise_margin_v(design, 0.8, "hold")
+        # a healthy 6T cell holds ~0.25-0.45 V of margin at 0.8 V
+        assert 0.15 < snm < 0.5
+
+    def test_read_snm_below_hold(self, design):
+        hold = static_noise_margin_v(design, 0.8, "hold")
+        read = static_noise_margin_v(design, 0.8, "read")
+        assert read < hold
+
+    def test_snm_grows_with_vdd(self, design):
+        snms = snm_vs_vdd(design, [0.7, 0.9, 1.1], "hold")
+        assert np.all(np.diff(snms) > 0)
+
+    def test_variation_weakens_margin(self, design):
+        nominal = static_noise_margin_v(design, 0.8, "hold")
+        skewed = static_noise_margin_v(
+            design,
+            0.8,
+            "hold",
+            vth_shifts_v=[0.08, -0.08, 0.0, -0.08, 0.08, 0.0],
+        )
+        assert skewed < nominal
+
+    def test_bad_shift_shape(self, design):
+        with pytest.raises(ConfigError):
+            static_noise_margin_v(design, 0.8, vth_shifts_v=[0.1])
+
+
+class TestConsistencyWithSer:
+    def test_snm_and_qcrit_trend_together(self, design):
+        """Both robustness metrics must grow with Vdd."""
+        from repro.sram.qcrit import critical_charge_vs_vdd
+
+        vdds = [0.7, 1.1]
+        snms = snm_vs_vdd(design, vdds, "hold")
+        qcrits = critical_charge_vs_vdd(design, vdds)
+        assert snms[1] > snms[0]
+        assert qcrits[1] > qcrits[0]

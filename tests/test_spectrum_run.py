@@ -1,0 +1,134 @@
+"""Continuous-spectrum array campaigns vs the binned eq. 8 flow."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.geometry import FinGeometry, SoiFinWorld
+from repro.layout import SramArrayLayout
+from repro.physics import ALPHA, AlphaEmissionSpectrum
+from repro.ser import (
+    ArraySerSimulator,
+    fit_from_spectrum_run,
+    integrate_fit,
+)
+from repro.sram import (
+    CharacterizationConfig,
+    SramCellDesign,
+    characterize_cell,
+)
+from repro.transport import ElectronYieldLUT, TransportEngine
+
+
+@pytest.fixture(scope="module")
+def setup():
+    design = SramCellDesign()
+    table = characterize_cell(
+        design,
+        CharacterizationConfig(
+            vdd_list=(0.7,),
+            n_charge_points=17,
+            n_samples=50,
+            max_pair_points=4,
+            max_triple_points=3,
+        ),
+    )
+    fin = FinGeometry(
+        design.tech.collection_length_nm,
+        design.tech.fin.width_nm,
+        design.tech.fin.height_nm,
+    )
+    lut = ElectronYieldLUT.build(
+        ALPHA,
+        np.logspace(np.log10(0.5), 1, 6),
+        5000,
+        np.random.default_rng(0),
+        engine=TransportEngine(SoiFinWorld(fin=fin)),
+    )
+    simulator = ArraySerSimulator(
+        SramArrayLayout(), table, yield_luts={"alpha": lut}
+    )
+    return simulator
+
+
+class TestSampleEnergiesBand:
+    def test_band_restriction(self):
+        spectrum = AlphaEmissionSpectrum()
+        rng = np.random.default_rng(1)
+        energies = spectrum.sample_energies(
+            2000, rng, e_min_mev=2.0, e_max_mev=6.0
+        )
+        assert np.all(energies >= 2.0)
+        assert np.all(energies <= 6.0)
+
+
+class TestLutVectorizedSampling:
+    def test_matches_scalar_sampler_statistics(self, setup):
+        lut = setup.yield_luts["alpha"]
+        rng1 = np.random.default_rng(2)
+        rng2 = np.random.default_rng(3)
+        energy = 2.0
+        scalar = lut.sample_pairs(energy, 20000, rng1)
+        vector = lut.sample_pairs_many(np.full(20000, energy), rng2)
+        assert np.mean(vector) == pytest.approx(np.mean(scalar), rel=0.05)
+        assert np.std(vector) == pytest.approx(np.std(scalar), rel=0.1)
+
+    def test_mixed_energies(self, setup):
+        lut = setup.yield_luts["alpha"]
+        rng = np.random.default_rng(4)
+        energies = np.array([0.6, 2.0, 9.0] * 5000)
+        samples = lut.sample_pairs_many(energies, rng)
+        assert samples.shape == energies.shape
+        # per-energy means follow the LUT means
+        for e in (0.6, 2.0, 9.0):
+            group = samples[energies == e]
+            assert np.mean(group) == pytest.approx(lut.mean_at(e), rel=0.1)
+
+    def test_nonpositive_energy_rejected(self, setup):
+        lut = setup.yield_luts["alpha"]
+        from repro.errors import LookupError_
+
+        with pytest.raises(LookupError_):
+            lut.sample_pairs_many(np.array([1.0, -1.0]), np.random.default_rng(0))
+
+
+class TestSpectrumRun:
+    def test_agrees_with_binned_integration(self, setup):
+        """Continuous sampling and eq. 8 binning give the same FIT."""
+        spectrum = AlphaEmissionSpectrum()
+        vdd = 0.7
+        n = 60000
+
+        run = setup.run_spectrum(
+            ALPHA, spectrum, vdd, n, np.random.default_rng(5),
+            e_min_mev=0.5, e_max_mev=10.0,
+        )
+        continuous = fit_from_spectrum_run(
+            spectrum, run, e_min_mev=0.5, e_max_mev=10.0
+        )
+
+        bins = spectrum.make_bins(6, 0.5, 10.0)
+        binned_results = [
+            setup.run(ALPHA, float(e), vdd, n // 6, np.random.default_rng(60 + i))
+            for i, e in enumerate(bins.representative_mev)
+        ]
+        binned = integrate_fit("alpha", vdd, bins, binned_results)
+
+        assert continuous.fit_total == pytest.approx(
+            binned.fit_total, rel=0.35
+        )
+        assert continuous.fit_total > 0
+
+    def test_result_bookkeeping(self, setup):
+        spectrum = AlphaEmissionSpectrum()
+        run = setup.run_spectrum(
+            ALPHA, spectrum, 0.7, 5000, np.random.default_rng(6)
+        )
+        assert run.n_particles == 5000
+        assert run.multiplicity_pmf is not None
+        assert 0.0 <= run.pof_total <= 1.0
+
+    def test_validation(self, setup):
+        spectrum = AlphaEmissionSpectrum()
+        with pytest.raises(ConfigError):
+            setup.run_spectrum(ALPHA, spectrum, 0.7, 0, np.random.default_rng(0))

@@ -1,0 +1,167 @@
+"""SPICE netlist interchange: numbers, round trips, dialect parsing."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, RectPulse, solve_dc
+from repro.circuit.spice_io import (
+    circuit_to_spice,
+    format_spice_number,
+    parse_spice_number,
+    read_spice,
+    spice_to_circuit,
+    write_spice,
+)
+from repro.devices import default_tech
+from repro.errors import CircuitError
+from repro.sram import SramCellDesign
+
+
+class TestSpiceNumbers:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("1.5k", 1500.0),
+            ("2meg", 2e6),
+            ("3u", 3e-6),
+            ("0.25p", 0.25e-12),
+            ("10f", 10e-15),
+            ("1e-15", 1e-15),
+            ("-4.7n", -4.7e-9),
+            ("2.5M", 2.5e-3),  # SPICE: m/M both milli
+        ],
+    )
+    def test_parse(self, token, expected):
+        assert parse_spice_number(token) == pytest.approx(expected)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_spice_number("ohm")
+        with pytest.raises(CircuitError):
+            parse_spice_number("1.2.3")
+
+    def test_format_round_trip(self):
+        for value in (1.5e-15, 2.0e3, -4.2e-9, 0.8):
+            assert parse_spice_number(
+                format_spice_number(value)
+            ) == pytest.approx(value)
+
+
+class TestWriter:
+    def test_rc_netlist_text(self):
+        circuit = Circuit("divider")
+        circuit.add_vsource("vin", "a", "0", 1.0)
+        circuit.add_resistor("r1", "a", "b", 1000.0)
+        circuit.add_capacitor("c1", "b", "0", 1e-15)
+        text = circuit_to_spice(circuit)
+        assert "Vvin a 0 1" in text
+        assert "Rr1 a b 1000" in text
+        assert "Cc1 b 0 1e-15" in text
+        assert text.rstrip().endswith(".end")
+
+    def test_finfet_model_card_emitted(self):
+        tech = default_tech()
+        circuit = Circuit("inv")
+        circuit.add_vsource("vdd", "vdd", "0", 0.8)
+        circuit.add_finfet("mp", "out", "in", "vdd", tech.pmos)
+        circuit.add_finfet("mn", "out", "in", "0", tech.nmos, nfin=2)
+        text = circuit_to_spice(circuit)
+        assert ".model pfet14 finfet polarity=-1" in text
+        assert ".model nfet14 finfet polarity=1" in text
+        assert "nfin=2" in text
+
+
+class TestRoundTrip:
+    def test_rc_round_trip_behaviour(self):
+        original = Circuit("divider")
+        original.add_vsource("vin", "a", "0", 2.0)
+        original.add_resistor("r1", "a", "b", 1000.0)
+        original.add_resistor("r2", "b", "0", 3000.0)
+        clone = spice_to_circuit(circuit_to_spice(original))
+        assert solve_dc(clone).voltage("b") == pytest.approx(1.5)
+
+    def test_sram_cell_round_trip(self):
+        design = SramCellDesign()
+        wave = RectPulse.from_charge(2e-16, 1.7e-14, delay_s=1e-12)
+        original = design.build_circuit(0.8, strike_waveforms={0: wave})
+        clone = spice_to_circuit(circuit_to_spice(original))
+
+        # same element census
+        assert len(clone.elements) == len(original.elements)
+        # same DC hold state
+        sol = solve_dc(clone, initial_guess=design.hold_state_guess(0.8))
+        assert sol.voltage("q") > 0.75
+        assert sol.voltage("qb") < 0.05
+        # strike source waveform survived with its charge
+        istrike = clone.element("istrike1")
+        assert istrike.waveform.charge() == pytest.approx(2e-16, rel=1e-6)
+
+    def test_vth_shift_round_trip(self):
+        design = SramCellDesign()
+        shifts = [0.01, -0.02, 0.0, 0.03, 0.0, -0.01]
+        original = design.build_circuit(0.8, vth_shifts_v=shifts)
+        clone = spice_to_circuit(circuit_to_spice(original))
+        assert clone.element("pu_l").vth_shift_v == pytest.approx(0.01)
+        assert clone.element("pd_l").vth_shift_v == pytest.approx(-0.02)
+
+    def test_file_round_trip(self, tmp_path):
+        circuit = Circuit("rc")
+        circuit.add_vsource("v", "a", "0", 1.0)
+        circuit.add_resistor("r", "a", "0", 50.0)
+        path = tmp_path / "rc.sp"
+        write_spice(circuit, path, title="rc test")
+        clone = read_spice(path)
+        assert clone.name == "rc"
+        assert solve_dc(clone).voltage("a") == pytest.approx(1.0)
+
+
+class TestDialectParsing:
+    def test_comments_and_dot_cards_ignored(self):
+        text = """* a comment
+        Vv a 0 1.0
+        Rr a 0 1k  $ trailing comment
+        .tran 1p 1n
+        .end
+        Rghost a 0 1
+        """
+        circuit = spice_to_circuit(text)
+        names = [e.name for e in circuit.elements]
+        assert names == ["v", "r"]
+
+    def test_pulse_source(self):
+        text = "Ii a 0 PULSE(0 1m 1p 0 0 10p)\nRr a 0 1\n.end\n"
+        circuit = spice_to_circuit(text)
+        wave = circuit.element("i").waveform
+        assert isinstance(wave, RectPulse)
+        assert wave.amplitude == pytest.approx(1e-3)
+        assert wave.width_s == pytest.approx(10e-12)
+        assert wave.delay_s == pytest.approx(1e-12)
+
+    def test_exp_source(self):
+        from repro.circuit import DoubleExponential
+
+        text = "Ii a 0 EXP(0 2m 0 1p 0 50p)\nRr a 0 1\n.end\n"
+        wave = spice_to_circuit(text).element("i").waveform
+        assert isinstance(wave, DoubleExponential)
+        assert wave.tau_fall_s == pytest.approx(50e-12)
+
+    def test_pwl_source(self):
+        from repro.circuit import Pwl
+
+        text = "Ii a 0 PWL(0 0 1n 1m 2n 0)\nRr a 0 1\n.end\n"
+        wave = spice_to_circuit(text).element("i").waveform
+        assert isinstance(wave, Pwl)
+        assert wave.charge() == pytest.approx(1e-12, rel=1e-6)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(CircuitError):
+            spice_to_circuit("Mx d g s 0 mystery\n.end\n")
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(CircuitError):
+            spice_to_circuit("Qq a b c bjt\n.end\n")
+
+    def test_malformed_pulse_rejected(self):
+        with pytest.raises(CircuitError):
+            spice_to_circuit("Ii a 0 PULSE(0 1)\nRr a 0 1\n.end\n")

@@ -1,0 +1,149 @@
+"""6T cell construction, strike scenarios, and hold-state behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import RectPulse, make_strike_time_grid, run_transient, solve_dc
+from repro.errors import ConfigError
+from repro.sram import (
+    ALL_COMBOS,
+    ROLES,
+    SENSITIVE_ROLES,
+    SramCellDesign,
+    StrikeScenario,
+    combo_label,
+    combo_of_charges,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+class TestCellDesign:
+    def test_roles_order_fixed(self):
+        assert ROLES == ("pu_l", "pd_l", "pg_l", "pu_r", "pd_r", "pg_r")
+
+    def test_three_sensitive_devices(self):
+        # the paper's Fig. 5(a): exactly three red-bold transistors
+        assert len(SENSITIVE_ROLES) == 3
+
+    def test_sensitive_identities(self):
+        # I1: off pull-down at the '1' node; I2: off pull-up at the '0'
+        # node; I3: off pass-gate at the '0' node
+        assert SENSITIVE_ROLES == ("pd_l", "pu_r", "pg_r")
+
+    def test_nfins(self, design):
+        assert design.nfins() == [1] * 6
+
+    def test_model_assignment(self, design):
+        assert design.model_of("pu_l").polarity == -1
+        assert design.model_of("pd_r").polarity == 1
+        assert design.model_of("pg_l").polarity == 1
+
+    def test_unknown_role(self, design):
+        with pytest.raises(ConfigError):
+            design.nfin_of("px_q")
+
+    def test_invalid_fin_count(self):
+        with pytest.raises(ConfigError):
+            SramCellDesign(nfin_pd=0)
+
+
+class TestCellNetlist:
+    def test_node_set(self, design):
+        circuit = design.build_circuit(0.8)
+        assert {"vdd", "q", "qb", "bl", "blb", "wl", "0"} <= set(
+            circuit.node_names
+        )
+
+    def test_six_transistors_two_caps(self, design):
+        circuit = design.build_circuit(0.8)
+        from repro.circuit import Capacitor, FinFET
+
+        fets = [e for e in circuit.elements if isinstance(e, FinFET)]
+        caps = [e for e in circuit.elements if isinstance(e, Capacitor)]
+        assert len(fets) == 6
+        assert len(caps) == 2
+
+    def test_vth_shift_vector_applied(self, design):
+        shifts = [0.01, -0.02, 0.0, 0.03, 0.0, 0.0]
+        circuit = design.build_circuit(0.8, vth_shifts_v=shifts)
+        assert circuit.element("pu_l").vth_shift_v == pytest.approx(0.01)
+        assert circuit.element("pd_l").vth_shift_v == pytest.approx(-0.02)
+        assert circuit.element("pu_r").vth_shift_v == pytest.approx(0.03)
+
+    def test_bad_shift_length(self, design):
+        with pytest.raises(ConfigError):
+            design.build_circuit(0.8, vth_shifts_v=[0.0, 0.0])
+
+    def test_strike_sources_wired(self, design):
+        wave = RectPulse.from_charge(1e-16, 1e-14, delay_s=1e-12)
+        circuit = design.build_circuit(0.8, strike_waveforms={0: wave, 2: wave})
+        names = [e.name for e in circuit.elements]
+        assert "istrike1" in names
+        assert "istrike3" in names
+
+    def test_hold_state_dc(self, design):
+        circuit = design.build_circuit(0.8)
+        sol = solve_dc(circuit, initial_guess=design.hold_state_guess(0.8))
+        assert sol.voltage("q") > 0.75
+        assert sol.voltage("qb") < 0.05
+
+
+class TestStrikeFlipsCellInSpice:
+    """Full MNA-engine strike: the ground truth the fast model mirrors."""
+
+    @pytest.mark.parametrize("strike_index", [0, 1, 2])
+    def test_large_charge_flips(self, design, strike_index):
+        vdd = 0.8
+        charge = 1.0e-15  # 1 fC: far beyond Qcrit
+        tau = design.tech.transit_time_s(vdd)
+        wave = RectPulse.from_charge(charge, tau, delay_s=1e-12)
+        circuit = design.build_circuit(vdd, strike_waveforms={strike_index: wave})
+        times = make_strike_time_grid(1e-12, tau, 5e-11)
+        result = run_transient(
+            circuit, times, initial_conditions=design.hold_state_guess(vdd)
+        )
+        assert result.final_voltage("q") < result.final_voltage("qb")
+
+    def test_small_charge_does_not_flip(self, design):
+        vdd = 0.8
+        charge = 5.0e-18  # 31 electrons: far below Qcrit
+        tau = design.tech.transit_time_s(vdd)
+        wave = RectPulse.from_charge(charge, tau, delay_s=1e-12)
+        circuit = design.build_circuit(vdd, strike_waveforms={0: wave})
+        times = make_strike_time_grid(1e-12, tau, 5e-11)
+        result = run_transient(
+            circuit, times, initial_conditions=design.hold_state_guess(vdd)
+        )
+        assert result.final_voltage("q") > result.final_voltage("qb")
+
+
+class TestStrikeScenario:
+    def test_combo_enumeration(self):
+        assert len(ALL_COMBOS) == 7
+        assert (0,) in ALL_COMBOS and (0, 1, 2) in ALL_COMBOS
+
+    def test_combo_of_charges(self):
+        assert combo_of_charges([1e-15, 0.0, 2e-15]) == (0, 2)
+        assert combo_of_charges([0.0, 0.0, 0.0]) == ()
+
+    def test_combo_label(self):
+        assert combo_label((0, 2)) == "I1+I3"
+        assert combo_label(()) == "none"
+
+    def test_scenario_accessors(self):
+        scenario = StrikeScenario(1e-15, 0.0, 2e-15)
+        assert scenario.combo == (0, 2)
+        assert scenario.total_charge_c == pytest.approx(3e-15)
+        assert not scenario.is_empty()
+
+    def test_from_charges_round_trip(self):
+        scenario = StrikeScenario.from_charges([1e-15, 2e-15, 0.0])
+        assert np.allclose(scenario.charges, [1e-15, 2e-15, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            StrikeScenario(-1e-15, 0.0, 0.0)

@@ -1,0 +1,135 @@
+"""Stopping power model: anchors, Bragg peaks, scaling laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.materials import SILICON, SILICON_DIOXIDE
+from repro.physics import (
+    ALPHA,
+    PROTON,
+    bragg_peak_energy_mev,
+    effective_charge,
+    let_kev_per_nm,
+    mass_stopping_power,
+    mean_chord_deposit_kev,
+    proton_bethe_mev_cm2_g,
+)
+
+
+class TestProtonStopping:
+    def test_bethe_anchor_1mev(self):
+        # PSTAR-order value: ~180 MeV cm^2/g for 1 MeV protons in Si
+        assert proton_bethe_mev_cm2_g(1.0) == pytest.approx(183.0, rel=0.05)
+
+    def test_bethe_anchor_10mev(self):
+        # PSTAR-order value ~ 34 MeV cm^2/g
+        assert proton_bethe_mev_cm2_g(10.0) == pytest.approx(34.0, rel=0.10)
+
+    def test_full_curve_continuous(self):
+        energies = np.logspace(-3, 2, 400)
+        stopping = mass_stopping_power(PROTON, energies)
+        ratios = stopping[1:] / stopping[:-1]
+        # no jumps bigger than 6% between adjacent log-grid points
+        assert np.all(ratios < 1.06)
+        assert np.all(ratios > 0.94)
+
+    def test_bragg_peak_location(self):
+        # proton Bragg peak in silicon sits near 80-100 keV
+        peak = bragg_peak_energy_mev(PROTON)
+        assert 0.05 < peak < 0.15
+
+    def test_peak_magnitude(self):
+        peak_e = bragg_peak_energy_mev(PROTON)
+        assert mass_stopping_power(PROTON, peak_e) == pytest.approx(515.0, rel=0.1)
+
+    def test_high_energy_falloff(self):
+        # stopping falls monotonically above the peak
+        energies = np.logspace(0, 2, 50)
+        stopping = mass_stopping_power(PROTON, energies)
+        assert np.all(np.diff(stopping) < 0)
+
+    def test_nonpositive_energy_rejected(self):
+        with pytest.raises(PhysicsError):
+            mass_stopping_power(PROTON, 0.0)
+
+
+class TestAlphaStopping:
+    def test_bragg_peak_location(self):
+        # alpha Bragg peak in silicon sits near 0.6-1 MeV
+        peak = bragg_peak_energy_mev(ALPHA)
+        assert 0.4 < peak < 1.2
+
+    def test_alpha_exceeds_proton_above_peak(self):
+        # paper Fig. 4: alpha generates far more charge at equal energy
+        for energy in (1.0, 3.0, 10.0, 30.0, 100.0):
+            ratio = mass_stopping_power(ALPHA, energy) / mass_stopping_power(
+                PROTON, energy
+            )
+            assert ratio > 3.0
+
+    def test_velocity_scaling_at_high_energy(self):
+        # fully stripped alpha at equal velocity: S_alpha = 4 S_p
+        from repro.constants import ALPHA_TO_PROTON_MASS_RATIO
+
+        e_alpha = 400.0
+        e_proton = e_alpha / ALPHA_TO_PROTON_MASS_RATIO
+        ratio = mass_stopping_power(ALPHA, e_alpha) / mass_stopping_power(
+            PROTON, e_proton
+        )
+        assert ratio == pytest.approx(4.0, rel=0.02)
+
+    def test_let_at_1mev(self):
+        # ASTAR-order: ~0.2-0.35 keV/nm for 1 MeV alpha in silicon
+        let = let_kev_per_nm(ALPHA, 1.0)
+        assert 0.15 < let < 0.40
+
+
+class TestEffectiveCharge:
+    def test_proton_always_unity(self):
+        assert np.all(effective_charge(PROTON, np.array([0.01, 1.0, 100.0])) == 1.0)
+
+    def test_alpha_approaches_two(self):
+        assert effective_charge(ALPHA, 1000.0) == pytest.approx(2.0, abs=1e-3)
+
+    def test_alpha_screened_at_low_energy(self):
+        assert effective_charge(ALPHA, 0.05) < 1.5
+
+    @given(st.floats(0.01, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_in_energy(self, energy):
+        z1 = effective_charge(ALPHA, energy)
+        z2 = effective_charge(ALPHA, energy * 1.1)
+        assert z2 >= z1 - 1e-12
+
+
+class TestMaterialScaling:
+    def test_sio2_close_to_silicon(self):
+        # Z/A nearly equal; I differs -> within ~20%
+        s_si = mass_stopping_power(PROTON, 1.0, SILICON)
+        s_ox = mass_stopping_power(PROTON, 1.0, SILICON_DIOXIDE)
+        assert s_ox == pytest.approx(s_si, rel=0.25)
+
+
+class TestChordDeposit:
+    def test_linear_in_chord(self):
+        d1 = mean_chord_deposit_kev(ALPHA, 5.0, 10.0)
+        d2 = mean_chord_deposit_kev(ALPHA, 5.0, 20.0)
+        assert d2 == pytest.approx(2.0 * d1)
+
+    def test_clamped_to_kinetic_energy(self):
+        # a 1 keV alpha cannot deposit more than 1 keV
+        deposit = mean_chord_deposit_kev(ALPHA, 0.001, 1.0e6)
+        assert deposit <= 1.0 + 1e-9
+
+    def test_zero_chord_zero_deposit(self):
+        assert mean_chord_deposit_kev(PROTON, 1.0, 0.0) == 0.0
+
+    def test_paper_scale_alpha_through_fin(self):
+        # ~MeV alpha through a ~30 nm fin deposits a few keV ->
+        # a few hundred to ~2000 electron-hole pairs (paper Fig. 4 scale)
+        deposit = mean_chord_deposit_kev(ALPHA, 1.0, 30.0)
+        pairs = deposit * 1e3 / 3.6
+        assert 500 < pairs < 5000

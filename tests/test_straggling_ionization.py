@@ -1,0 +1,172 @@
+"""Energy-loss straggling and electron-hole pair statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.physics import (
+    ALPHA,
+    PROTON,
+    bohr_variance_mev2,
+    charge_to_pairs,
+    mean_chord_deposit_kev,
+    mean_pairs,
+    pairs_to_charge_coulomb,
+    sample_deposits_kev,
+    sample_pairs,
+)
+
+
+class TestBohrVariance:
+    def test_scales_linearly_with_chord(self):
+        v1 = bohr_variance_mev2(PROTON, 1.0, 10.0)
+        v2 = bohr_variance_mev2(PROTON, 1.0, 20.0)
+        assert v2 == pytest.approx(2.0 * v1)
+
+    def test_alpha_larger_than_proton(self):
+        # z_eff^2 makes alpha straggling bigger at the same velocity
+        assert bohr_variance_mev2(ALPHA, 4.0, 10.0) > bohr_variance_mev2(
+            PROTON, 1.0, 10.0
+        )
+
+    def test_magnitude_reasonable(self):
+        # ~10 nm silicon chord, 1 MeV proton: sigma of order 0.1-1 keV
+        sigma_kev = np.sqrt(bohr_variance_mev2(PROTON, 1.0, 10.0)) * 1e3
+        assert 0.05 < sigma_kev < 2.0
+
+    def test_negative_chord_rejected(self):
+        with pytest.raises(PhysicsError):
+            bohr_variance_mev2(PROTON, 1.0, -5.0)
+
+
+class TestSampleDeposits:
+    def test_zero_chord_gives_zero(self):
+        rng = np.random.default_rng(0)
+        deposits = sample_deposits_kev(
+            PROTON, np.full(100, 1.0), np.zeros(100), rng
+        )
+        assert np.all(deposits == 0.0)
+
+    def test_mean_matches_thin_layer(self):
+        rng = np.random.default_rng(1)
+        n = 40000
+        deposits = sample_deposits_kev(
+            ALPHA, np.full(n, 2.0), np.full(n, 20.0), rng
+        )
+        expected = float(mean_chord_deposit_kev(ALPHA, 2.0, 20.0))
+        assert np.mean(deposits) == pytest.approx(expected, rel=0.05)
+
+    def test_never_negative_never_above_kinetic(self):
+        rng = np.random.default_rng(2)
+        energy = 0.3
+        deposits = sample_deposits_kev(
+            PROTON, np.full(5000, energy), np.full(5000, 30.0), rng
+        )
+        assert np.all(deposits >= 0.0)
+        assert np.all(deposits <= energy * 1e3 + 1e-9)
+
+    def test_broadcasting(self):
+        rng = np.random.default_rng(3)
+        deposits = sample_deposits_kev(
+            PROTON, 1.0, np.array([5.0, 10.0, 15.0]), rng
+        )
+        assert deposits.shape == (3,)
+
+
+class TestPairs:
+    def test_paper_rule_3_6_ev(self):
+        # 3.6 keV deposit -> exactly 1000 mean pairs
+        assert mean_pairs(3.6) == pytest.approx(1000.0)
+
+    def test_non_collecting_material_rejected(self):
+        from repro.materials import BEOL_DIELECTRIC
+
+        with pytest.raises(PhysicsError):
+            mean_pairs(1.0, BEOL_DIELECTRIC)
+
+    def test_negative_deposit_rejected(self):
+        with pytest.raises(PhysicsError):
+            mean_pairs(-1.0)
+
+    def test_sampled_mean_and_fano_variance(self):
+        rng = np.random.default_rng(4)
+        n = 60000
+        counts = sample_pairs(np.full(n, 3.6), rng)
+        assert np.mean(counts) == pytest.approx(1000.0, rel=0.01)
+        # Fano: var = 0.115 * mean (plus rounding noise ~1/12)
+        assert np.var(counts) == pytest.approx(115.0, rel=0.15)
+
+    def test_counts_are_integral_and_nonnegative(self):
+        rng = np.random.default_rng(5)
+        counts = sample_pairs(np.full(1000, 0.01), rng)
+        assert np.all(counts >= 0)
+        assert np.all(counts == np.rint(counts))
+
+    @given(st.floats(1, 1e6))
+    @settings(max_examples=30, deadline=None)
+    def test_charge_round_trip(self, pairs):
+        charge = pairs_to_charge_coulomb(pairs)
+        assert charge_to_pairs(charge) == pytest.approx(pairs)
+
+    def test_single_pair_charge(self):
+        assert pairs_to_charge_coulomb(1.0) == pytest.approx(1.602e-19, rel=1e-3)
+
+
+class TestMoyalStraggling:
+    def test_mean_preserved(self):
+        from repro.physics import mean_chord_deposit_kev
+
+        rng = np.random.default_rng(20)
+        n = 100000
+        deposits = sample_deposits_kev(
+            ALPHA, np.full(n, 5.0), np.full(n, 30.0), rng, model="moyal"
+        )
+        expected = float(mean_chord_deposit_kev(ALPHA, 5.0, 30.0))
+        assert np.mean(deposits) == pytest.approx(expected, rel=0.05)
+
+    def test_right_skewed(self):
+        """Landau-like fluctuations carry the long tail upward."""
+        rng = np.random.default_rng(21)
+        n = 100000
+        deposits = sample_deposits_kev(
+            ALPHA, np.full(n, 5.0), np.full(n, 30.0), rng, model="moyal"
+        )
+        mean = np.mean(deposits)
+        std = np.std(deposits)
+        skew = np.mean(((deposits - mean) / std) ** 3)
+        assert skew > 0.5
+
+    def test_most_probable_below_mean(self):
+        rng = np.random.default_rng(22)
+        n = 100000
+        deposits = sample_deposits_kev(
+            ALPHA, np.full(n, 5.0), np.full(n, 30.0), rng, model="moyal"
+        )
+        assert np.median(deposits) < np.mean(deposits)
+
+    def test_physical_bounds(self):
+        rng = np.random.default_rng(23)
+        energy = 0.5
+        deposits = sample_deposits_kev(
+            PROTON, np.full(5000, energy), np.full(5000, 30.0), rng,
+            model="moyal",
+        )
+        assert np.all(deposits >= 0.0)
+        assert np.all(deposits <= energy * 1e3 + 1e-9)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(PhysicsError):
+            sample_deposits_kev(
+                ALPHA, 1.0, 10.0, np.random.default_rng(0), model="vavilov"
+            )
+
+    def test_transport_engine_accepts_model(self):
+        from repro.transport import TransportConfig, TransportEngine
+
+        engine = TransportEngine(
+            config=TransportConfig(straggling_model="moyal")
+        )
+        result = engine.launch(ALPHA, 1.0, 5000, np.random.default_rng(24))
+        assert result.mean_pairs_given_hit > 0

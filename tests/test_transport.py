@@ -1,0 +1,164 @@
+"""Device-level Monte Carlo transport and the electron-yield LUT."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.geometry import FinGeometry, RayBatch, SoiFinWorld, SoiStack
+from repro.physics import ALPHA, PROTON, mean_chord_deposit_kev, mean_pairs
+from repro.transport import (
+    ElectronYieldLUT,
+    TransportConfig,
+    TransportEngine,
+    default_energy_grid,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return TransportEngine()
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(2014)
+
+
+class TestTransportEngine:
+    def test_vertical_ray_through_fin(self):
+        # deterministic config: no straggling/fano, vertical hit
+        engine = TransportEngine(
+            config=TransportConfig(straggling=False, fano=False)
+        )
+        fin = engine.world.fin
+        rays = RayBatch(
+            np.array([[0.0, 0.0, 100.0]]), np.array([[0.0, 0.0, -1.0]])
+        )
+        result = engine.transport(ALPHA, 1.0, rays, np.random.default_rng(0))
+        assert result.fin_chord_nm[0] == pytest.approx(fin.height_nm)
+        expected_pairs = float(
+            mean_pairs(mean_chord_deposit_kev(ALPHA, 1.0, fin.height_nm))
+        )
+        assert result.fin_pairs[0] == pytest.approx(expected_pairs, rel=1e-6)
+
+    def test_missing_ray_no_pairs(self):
+        engine = TransportEngine()
+        rays = RayBatch(
+            np.array([[1000.0, 1000.0, 100.0]]), np.array([[0.0, 0.0, -1.0]])
+        )
+        result = engine.transport(PROTON, 1.0, rays, np.random.default_rng(0))
+        assert result.fin_chord_nm[0] == 0.0
+        assert result.fin_pairs[0] == 0.0
+        assert result.hit_fraction == 0.0
+
+    def test_launch_statistics(self, engine, rng):
+        result = engine.launch(ALPHA, 1.0, 20000, rng)
+        assert 0.001 < result.hit_fraction < 0.5
+        assert result.mean_pairs_given_hit > 50
+
+    def test_alpha_generates_more_than_proton(self, engine, rng):
+        alpha = engine.launch(ALPHA, 1.0, 30000, rng)
+        proton = engine.launch(PROTON, 1.0, 30000, rng)
+        assert (
+            alpha.mean_pairs_given_hit > 3.0 * proton.mean_pairs_given_hit
+        )
+
+    def test_energy_degradation_with_beol(self, rng):
+        # a thick BEOL overburden reduces the energy reaching the fin,
+        # which *raises* the yield for above-peak alphas (dE/dx grows
+        # as the particle slows) -- so just check the result changes.
+        fin = FinGeometry()
+        bare = TransportEngine(
+            SoiFinWorld(fin=fin),
+            TransportConfig(straggling=False, fano=False),
+        )
+        buried = TransportEngine(
+            SoiFinWorld(fin=fin, stack=SoiStack(beol_thickness_nm=2000.0)),
+            TransportConfig(straggling=False, fano=False),
+        )
+        rays = RayBatch(
+            np.array([[0.0, 0.0, 2500.0]]), np.array([[0.0, 0.0, -1.0]])
+        )
+        pairs_bare = bare.transport(ALPHA, 2.0, rays, np.random.default_rng(0)).fin_pairs[0]
+        pairs_buried = buried.transport(ALPHA, 2.0, rays, np.random.default_rng(0)).fin_pairs[0]
+        assert pairs_buried != pytest.approx(pairs_bare, rel=1e-3)
+
+    def test_invalid_launch_args(self, engine, rng):
+        with pytest.raises(ConfigError):
+            engine.launch(ALPHA, -1.0, 100, rng)
+        with pytest.raises(ConfigError):
+            engine.launch(ALPHA, 1.0, 0, rng)
+
+
+class TestElectronYieldLUT:
+    @pytest.fixture(scope="class")
+    def lut(self):
+        rng = np.random.default_rng(7)
+        energies = np.logspace(-1, 2, 7)
+        return ElectronYieldLUT.build(ALPHA, energies, 4000, rng)
+
+    def test_monotone_energy_grid_required(self):
+        with pytest.raises(ConfigError):
+            ElectronYieldLUT(
+                particle_name="alpha",
+                energies_mev=np.array([1.0, 1.0]),
+                hit_fraction=np.zeros(2),
+                mean_pairs=np.zeros(2),
+                quantiles=np.zeros((2, 5)),
+            )
+
+    def test_mean_interpolation_brackets(self, lut):
+        e_mid = np.sqrt(lut.energies_mev[2] * lut.energies_mev[3])
+        mean_mid = lut.mean_at(e_mid)
+        lo = min(lut.mean_pairs[2], lut.mean_pairs[3])
+        hi = max(lut.mean_pairs[2], lut.mean_pairs[3])
+        assert lo <= mean_mid <= hi
+
+    def test_out_of_range_clamps(self, lut):
+        assert lut.mean_at(1e-3) == pytest.approx(lut.mean_pairs[0])
+        assert lut.mean_at(1e5) == pytest.approx(lut.mean_pairs[-1])
+
+    def test_sample_pairs_statistics(self, lut):
+        rng = np.random.default_rng(9)
+        energy = float(lut.energies_mev[3])
+        samples = lut.sample_pairs(energy, 20000, rng)
+        assert np.mean(samples) == pytest.approx(
+            lut.mean_pairs[3], rel=0.08
+        )
+        assert np.all(samples >= 0)
+
+    def test_normalized_series_peaks_at_one(self, lut):
+        energies, series = lut.normalized_yield_series()
+        assert np.max(series) == pytest.approx(1.0)
+        assert len(energies) == len(series)
+
+    def test_round_trip_serialization(self, lut):
+        clone = ElectronYieldLUT.from_dict(lut.to_dict())
+        assert np.allclose(clone.energies_mev, lut.energies_mev)
+        assert np.allclose(clone.quantiles, lut.quantiles)
+        assert clone.particle_name == lut.particle_name
+
+    def test_build_rejects_tiny_statistics(self):
+        with pytest.raises(ConfigError):
+            ElectronYieldLUT.build(
+                ALPHA, np.array([1.0, 2.0]), 10, np.random.default_rng(0)
+            )
+
+    def test_default_grid(self):
+        grid = default_energy_grid("alpha", 13)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(100.0)
+        from repro.errors import PhysicsError
+
+        with pytest.raises(PhysicsError):
+            default_energy_grid("neutron")
+
+
+class TestYieldShape:
+    def test_fig4_shape_decreasing_above_peak(self):
+        """Paper Fig. 4: yield falls with energy above the Bragg peak."""
+        rng = np.random.default_rng(11)
+        energies = np.array([1.0, 3.0, 10.0, 30.0, 100.0])
+        lut = ElectronYieldLUT.build(ALPHA, energies, 6000, rng)
+        # above the ~0.8 MeV alpha peak the mean yield must fall
+        assert np.all(np.diff(lut.mean_pairs) < 0)

@@ -1,0 +1,111 @@
+"""Unit-conversion round trips and anchor values."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.constants import (
+    ALPHA_REST_ENERGY_MEV,
+    ALPHA_TO_PROTON_MASS_RATIO,
+    ELEMENTARY_CHARGE_C,
+    PROTON_REST_ENERGY_MEV,
+    SILICON_PAIR_ENERGY_EV,
+)
+
+positive_floats = st.floats(
+    min_value=1e-12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEnergyConversions:
+    def test_mev_to_ev_anchor(self):
+        assert units.mev_to_ev(1.0) == 1.0e6
+
+    def test_kev_anchor(self):
+        assert units.mev_to_kev(2.5) == 2500.0
+
+    @given(positive_floats)
+    def test_ev_round_trip(self, value):
+        assert units.ev_to_mev(units.mev_to_ev(value)) == pytest.approx(value)
+
+    @given(positive_floats)
+    def test_kev_round_trip(self, value):
+        assert units.kev_to_mev(units.mev_to_kev(value)) == pytest.approx(value)
+
+
+class TestLengthConversions:
+    def test_nm_to_cm_anchor(self):
+        assert units.nm_to_cm(1.0e7) == pytest.approx(1.0)
+
+    def test_um_anchor(self):
+        assert units.um_to_nm(1.0) == 1000.0
+
+    @given(positive_floats)
+    def test_nm_cm_round_trip(self, value):
+        assert units.cm_to_nm(units.nm_to_cm(value)) == pytest.approx(value)
+
+    @given(positive_floats)
+    def test_area_round_trip(self, value):
+        assert units.cm2_to_m2(units.m2_to_cm2(value)) == pytest.approx(value)
+
+
+class TestStoppingConversions:
+    def test_mass_to_linear(self):
+        # 100 MeV cm^2/g in silicon (2.329 g/cm^3) = 232.9 MeV/cm
+        assert units.mass_to_linear_stopping(100.0, 2.329) == pytest.approx(232.9)
+
+    def test_linear_to_kev_per_nm(self):
+        # 1 MeV/cm = 1e3 keV / 1e7 nm = 1e-4 keV/nm
+        assert units.linear_stopping_to_kev_per_nm(1.0) == pytest.approx(1.0e-4)
+
+    @given(positive_floats)
+    def test_kev_per_nm_round_trip(self, value):
+        forward = units.linear_stopping_to_kev_per_nm(value)
+        assert units.kev_per_nm_to_mev_per_cm(forward) == pytest.approx(value)
+
+
+class TestChargeAndTime:
+    def test_fc_anchor(self):
+        assert units.coulomb_to_fc(1.0e-15) == pytest.approx(1.0)
+
+    @given(positive_floats)
+    def test_fc_round_trip(self, value):
+        assert units.fc_to_coulomb(units.coulomb_to_fc(value)) == pytest.approx(value)
+
+    def test_time_helpers(self):
+        assert units.ns_to_s(1.0) == 1e-9
+        assert units.ps_to_s(1.0) == 1e-12
+        assert units.fs_to_s(1.0) == 1e-15
+        assert units.s_to_ns(1e-9) == pytest.approx(1.0)
+
+
+class TestRates:
+    def test_fit_anchor(self):
+        # 1 failure/hour = 1e9 FIT
+        per_second = units.per_hour_to_per_second(1.0)
+        assert units.per_second_to_fit(per_second) == pytest.approx(1.0e9)
+
+    @given(positive_floats)
+    def test_fit_round_trip(self, value):
+        assert units.fit_to_per_second(
+            units.per_second_to_fit(value)
+        ) == pytest.approx(value)
+
+
+class TestConstants:
+    def test_mass_ratio(self):
+        assert ALPHA_TO_PROTON_MASS_RATIO == pytest.approx(
+            ALPHA_REST_ENERGY_MEV / PROTON_REST_ENERGY_MEV
+        )
+        assert ALPHA_TO_PROTON_MASS_RATIO == pytest.approx(3.972, rel=1e-3)
+
+    def test_elementary_charge(self):
+        assert ELEMENTARY_CHARGE_C == pytest.approx(1.602e-19, rel=1e-3)
+
+    def test_paper_pair_energy(self):
+        # the paper's "3.6 eV per electron-hole pair"
+        assert SILICON_PAIR_ENERGY_EV == 3.6

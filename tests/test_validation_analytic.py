@@ -1,0 +1,115 @@
+"""End-to-end validation against an exactly solvable configuration.
+
+A vertical (``beam:1.0``) mono-LET beam makes the whole chain
+analytic: every launched ray is vertical, so it strikes a sensitive
+fin iff its (x, y) falls inside the fin's footprint, the chord is
+exactly the fin height, and the deposit is exactly ``LET x height``.
+Hence
+
+    POF_per_launch = (total sensitive footprint / launch area)
+                     x POF_cell(LET x height x e/3.6eV)
+
+with no Monte Carlo ingredient left except the uniform (x, y) sampling.
+This pins down the geometry kernel, the charge conversion, the POF
+lookup and the normalization in one shot.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import ELEMENTARY_CHARGE_C, SILICON_PAIR_ENERGY_EV
+from repro.layout import SramArrayLayout
+from repro.ser import HeavyIonCampaign
+from repro.sram import (
+    CharacterizationConfig,
+    SramCellDesign,
+    characterize_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return SramCellDesign()
+
+
+@pytest.fixture(scope="module")
+def table(design):
+    return characterize_cell(
+        design,
+        CharacterizationConfig(
+            vdd_list=(0.7,),
+            n_charge_points=17,
+            n_samples=60,
+            max_pair_points=4,
+            max_triple_points=3,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return SramArrayLayout()
+
+
+def analytic_pof(layout, table, let_kev_per_nm, vdd, margin_nm):
+    """The closed-form per-launch POF for a vertical beam."""
+    x_range, y_range, _, launch_area_cm2 = layout.launch_window(margin_nm)
+    window_nm2 = (x_range[1] - x_range[0]) * (y_range[1] - y_range[0])
+
+    sensitive = layout.packed_boxes[layout.fin_strike >= 0]
+    strikes = layout.fin_strike[layout.fin_strike >= 0]
+    footprints = (sensitive[:, 3] - sensitive[:, 0]) * (
+        sensitive[:, 4] - sensitive[:, 1]
+    )
+
+    height = layout.cell.fin.height_nm
+    deposit_kev = let_kev_per_nm * height
+    charge = deposit_kev * 1e3 / SILICON_PAIR_ENERGY_EV * ELEMENTARY_CHARGE_C
+
+    pof = 0.0
+    for footprint, strike in zip(footprints, strikes):
+        charges = np.zeros((1, 3))
+        charges[0, strike] = charge
+        cell_pof = float(table.query(vdd, charges)[0])
+        pof += (footprint / window_nm2) * cell_pof
+    return pof
+
+
+class TestVerticalBeamAnalytic:
+    @pytest.mark.parametrize("let", [0.08, 0.2, 1.0])
+    def test_mc_matches_closed_form(self, layout, table, let):
+        campaign = HeavyIonCampaign(layout, table, margin_nm=100.0)
+        rng = np.random.default_rng(42)
+        point = campaign.run_let(let, 0.7, 120000, rng, "beam:1.0")
+        expected = analytic_pof(layout, table, let, 0.7, 100.0)
+        if expected == 0.0:
+            assert point.pof_per_particle == 0.0
+        else:
+            assert point.pof_per_particle == pytest.approx(
+                expected, rel=0.08
+            )
+
+    def test_saturated_cross_section_equals_footprint(self, layout, table):
+        """Far above threshold, sigma_bit = sensitive footprint per bit."""
+        campaign = HeavyIonCampaign(layout, table, margin_nm=100.0)
+        rng = np.random.default_rng(43)
+        point = campaign.run_let(5.0, 0.7, 120000, rng, "beam:1.0")
+
+        sensitive = layout.packed_boxes[layout.fin_strike >= 0]
+        footprint_nm2 = float(
+            np.sum(
+                (sensitive[:, 3] - sensitive[:, 0])
+                * (sensitive[:, 4] - sensitive[:, 1])
+            )
+        )
+        expected_cm2_per_bit = footprint_nm2 * 1e-14 / layout.n_cells
+        assert point.cross_section_cm2_per_bit == pytest.approx(
+            expected_cm2_per_bit, rel=0.06
+        )
+
+    def test_sub_threshold_is_exactly_zero(self, layout, table):
+        """LET x height far below Qcrit: not a single upset."""
+        campaign = HeavyIonCampaign(layout, table, margin_nm=100.0)
+        rng = np.random.default_rng(44)
+        point = campaign.run_let(0.01, 0.7, 50000, rng, "beam:1.0")
+        assert point.pof_per_particle == 0.0

@@ -1,0 +1,55 @@
+"""Process-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import VariationModel
+from repro.errors import ConfigError
+
+
+class TestVariationModel:
+    def test_disabled_returns_zeros(self):
+        model = VariationModel(sigma_vth_v=0.05, enabled=False)
+        shifts = model.sample_shifts(10, [1] * 6, np.random.default_rng(0))
+        assert shifts.shape == (10, 6)
+        assert np.all(shifts == 0.0)
+
+    def test_sample_statistics(self):
+        model = VariationModel(sigma_vth_v=0.03)
+        shifts = model.sample_shifts(
+            50000, [1, 1, 1], np.random.default_rng(1)
+        )
+        assert np.mean(shifts) == pytest.approx(0.0, abs=5e-4)
+        assert np.std(shifts) == pytest.approx(0.03, rel=0.02)
+
+    def test_pelgrom_scaling(self):
+        model = VariationModel(sigma_vth_v=0.04)
+        assert model.device_sigma(4) == pytest.approx(0.02)
+
+    def test_multifin_device_tighter(self):
+        model = VariationModel(sigma_vth_v=0.04)
+        rng = np.random.default_rng(2)
+        shifts = model.sample_shifts(20000, [1, 4], rng)
+        assert np.std(shifts[:, 1]) < np.std(shifts[:, 0])
+
+    def test_independence_across_devices(self):
+        model = VariationModel(sigma_vth_v=0.04)
+        shifts = model.sample_shifts(20000, [1, 1], np.random.default_rng(3))
+        corr = np.corrcoef(shifts[:, 0], shifts[:, 1])[0, 1]
+        assert abs(corr) < 0.03
+
+    def test_corner_shifts(self):
+        model = VariationModel(sigma_vth_v=0.04)
+        corner = model.corner_shifts([1, 4], 3.0)
+        assert corner[0] == pytest.approx(0.12)
+        assert corner[1] == pytest.approx(0.06)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            VariationModel(sigma_vth_v=-0.01)
+        with pytest.raises(ConfigError):
+            VariationModel().sample_shifts(0, [1], np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            VariationModel().sample_shifts(5, [], np.random.default_rng(0))
+        with pytest.raises(ConfigError):
+            VariationModel().device_sigma(0)
