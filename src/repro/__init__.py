@@ -15,7 +15,10 @@ Approach" (DAC 2014), including every substrate the flow needs:
 * array-layout 3-D Monte Carlo, SEU/MBU decomposition and FIT-rate
   integration (:mod:`repro.layout`, :mod:`repro.ser`),
 * the orchestrating cross-layer flow (:mod:`repro.core`) and figure
-  reproduction helpers (:mod:`repro.analysis`).
+  reproduction helpers (:mod:`repro.analysis`),
+* an observability substrate -- metrics registry, tracing spans,
+  structured logging and per-run manifests (:mod:`repro.obs`),
+  disabled (zero-cost) by default.
 
 Quick start::
 
@@ -26,6 +29,7 @@ Quick start::
     print(result.fit_total, result.mbu_to_seu_ratio)
 """
 
+from . import obs
 from .core import DEFAULT_ENERGY_RANGES, FlowConfig, SerFlow
 from .devices import FinFETModel, TechnologyCard, VariationModel, default_tech
 from .errors import (
@@ -68,6 +72,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # observability
+    "obs",
     # flow
     "SerFlow",
     "FlowConfig",

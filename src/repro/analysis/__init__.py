@@ -1,6 +1,10 @@
 """Per-figure series generation and shape analysis of results."""
 
-from .convergence import ConvergenceEstimate, estimate_pof_error
+from .convergence import (
+    ConvergenceEstimate,
+    estimate_pof_error,
+    pof_standard_error,
+)
 from .export import export_figures
 from .figures import (
     Series,
@@ -31,6 +35,7 @@ __all__ = [
     "export_figures",
     "ConvergenceEstimate",
     "estimate_pof_error",
+    "pof_standard_error",
     "ser_sensitivities",
     "SensitivityResult",
     "SENSITIVITY_PARAMETERS",

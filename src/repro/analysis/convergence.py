@@ -58,6 +58,25 @@ class ConvergenceEstimate:
         return int(math.ceil(self.n_particles * scale))
 
 
+def pof_standard_error(result) -> float:
+    """Single-campaign standard error of an :class:`ArrayPofResult` POF.
+
+    The per-launched-particle POF is the mean of ``n`` i.i.d. per-event
+    failure probabilities in [0, 1]; the binomial bound
+    ``sqrt(p (1 - p) / n)`` is therefore a conservative (slightly
+    pessimistic, since events contribute fractional probabilities)
+    standard error that needs no re-running, unlike
+    :func:`estimate_pof_error`.  The flow records this per FIT energy
+    bin into the metrics registry, and the run manifest reports it as
+    the campaign's convergence diagnostic.
+    """
+    p = min(max(float(result.pof_total), 0.0), 1.0)
+    n = int(result.n_particles)
+    if n < 1:
+        raise ConfigError("result has no particles")
+    return math.sqrt(p * (1.0 - p) / n)
+
+
 def estimate_pof_error(
     simulator: ArraySerSimulator,
     particle: ParticleType,

@@ -10,14 +10,69 @@ Subcommands mirror the flow stages:
 * ``sweep``      -- the full Fig. 9/10 evaluation sweep.
 * ``figures``    -- export every reproduced figure series as CSV.
 * ``report``     -- regenerate the paper's evaluation as markdown.
+
+Every subcommand accepts the observability flags (see
+``docs/observability.md``):
+
+* ``--log-level {debug,info,warning,error}`` -- diagnostic logging to
+  stderr (per-chunk MC progress lives at ``debug``).
+* ``--quiet``        -- suppress all non-error output.
+* ``--metrics-out``  -- write a JSON run manifest (config, seed, stage
+  timings, MC trial counts, throughput, cache hit/miss counts).
+* ``--trace``        -- stream nested stage spans to a JSONL file.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import sys
+import time
 
 import numpy as np
+
+from . import __version__
+from .obs import (
+    build_manifest,
+    configure_logging,
+    configure_tracing,
+    enable_metrics,
+    get_output_logger,
+    reset_tracing,
+    span,
+)
+
+
+def _say(message: str):
+    """User-facing result line (suppressed by ``--quiet``)."""
+    get_output_logger().info(message)
+
+
+def _add_obs(parser):
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="diagnostic log level on stderr (default: warning)",
+    )
+    group.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress all non-error output",
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write a JSON run manifest (timings, counts, throughput)",
+    )
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream stage spans to a JSONL trace file",
+    )
 
 
 def _add_common(parser):
@@ -40,6 +95,18 @@ def _add_common(parser):
     parser.add_argument(
         "--samples", type=int, default=200, help="variation MC samples"
     )
+    parser.add_argument(
+        "--yield-trials",
+        type=int,
+        default=20000,
+        help="transport MC trials per yield-LUT energy point",
+    )
+    parser.add_argument(
+        "--yield-points",
+        type=int,
+        default=13,
+        help="energy points of the yield LUTs",
+    )
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument(
         "--no-variation",
@@ -57,6 +124,8 @@ def _make_flow(args, vdd_list=None):
     config = FlowConfig(
         particles=particles,
         vdd_list=vdds,
+        yield_trials_per_energy=args.yield_trials,
+        yield_energy_points=args.yield_points,
         characterization=CharacterizationConfig(
             vdd_list=vdds, n_samples=args.samples
         ),
@@ -71,13 +140,13 @@ def cmd_build_luts(args) -> int:
     flow = _make_flow(args)
     luts = flow.yield_luts()
     for name, lut in luts.items():
-        print(
+        _say(
             f"yield LUT [{name}]: {len(lut.energies_mev)} energies, "
             f"{lut.trials_per_energy} trials each, "
             f"peak mean pairs = {np.max(lut.mean_pairs):.1f}"
         )
     table = flow.pof_table()
-    print(
+    _say(
         f"POF table: vdd={table.vdd_list.tolist()}, "
         f"{len(table.charge_axis_c)} charge points, "
         f"PV={'on' if table.process_variation else 'off'}"
@@ -89,7 +158,7 @@ def cmd_fit(args) -> int:
     flow = _make_flow(args, vdd_list=[args.vdd])
     for particle in flow.config.particles:
         result = flow.fit(particle, args.vdd)
-        print(
+        _say(
             f"{particle:>7s}  vdd={args.vdd:.2f} V  "
             f"FIT={result.fit_total:.4g}  SEU={result.fit_seu:.4g}  "
             f"MBU={result.fit_mbu:.4g}  "
@@ -104,7 +173,7 @@ def cmd_sweep(args) -> int:
     vdds = [float(v) for v in args.vdd_list.split(",")]
     flow = _make_flow(args, vdd_list=vdds)
     sweep = flow.sweep()
-    print(fit_report(sweep, normalize=not args.absolute))
+    _say(fit_report(sweep, normalize=not args.absolute))
     return 0
 
 
@@ -116,7 +185,7 @@ def cmd_qcrit(args) -> int:
     qcrits = critical_charge_vs_vdd(design, vdds)
     for vdd, qcrit in zip(vdds, qcrits):
         electrons = qcrit / 1.602176634e-19
-        print(f"vdd={vdd:.2f} V  Qcrit={qcrit * 1e15:.4f} fC  ({electrons:.0f} e-)")
+        _say(f"vdd={vdd:.2f} V  Qcrit={qcrit * 1e15:.4f} fC  ({electrons:.0f} e-)")
     return 0
 
 
@@ -130,7 +199,7 @@ def cmd_report(args) -> int:
         include_pv_comparison=not args.no_variation,
         fig8_particles=args.mc_particles,
     )
-    print(f"report written to {path}")
+    _say(f"report written to {path}")
     return 0
 
 
@@ -142,7 +211,7 @@ def cmd_figures(args) -> int:
         flow, args.out_dir, pof_energy_particles=args.mc_particles
     )
     for key, path in sorted(written.items()):
-        print(f"{key}: {path}")
+        _say(f"{key}: {path}")
     return 0
 
 
@@ -154,7 +223,7 @@ def cmd_snm(args) -> int:
     for vdd in vdds:
         hold = static_noise_margin_v(design, vdd, "hold")
         read = static_noise_margin_v(design, vdd, "read")
-        print(
+        _say(
             f"vdd={vdd:.2f} V  hold SNM={hold * 1e3:.1f} mV  "
             f"read SNM={read * 1e3:.1f} mV"
         )
@@ -165,18 +234,18 @@ def cmd_info(args) -> int:
     from .devices import default_tech
 
     tech = default_tech()
-    print(f"technology: {tech.name}")
-    print(f"  fin: {tech.fin.length_nm} x {tech.fin.width_nm} x {tech.fin.height_nm} nm")
+    _say(f"technology: {tech.name}")
+    _say(f"  fin: {tech.fin.length_nm} x {tech.fin.width_nm} x {tech.fin.height_nm} nm")
     for label, model in (("nmos", tech.nmos), ("pmos", tech.pmos)):
-        print(
+        _say(
             f"  {label}: Ion({tech.vdd_nominal_v}V) = "
             f"{model.on_current(tech.vdd_nominal_v) * 1e6:.1f} uA/fin, "
             f"Ioff = {model.off_current(tech.vdd_nominal_v) * 1e9:.2f} nA/fin, "
             f"SS = {model.subthreshold_swing_mv_dec():.0f} mV/dec"
         )
-    print(f"  sigma(Vth) = {tech.sigma_vth_v * 1e3:.0f} mV")
-    print(f"  node cap = {tech.node_cap_f * 1e15:.3f} fF")
-    print(
+    _say(f"  sigma(Vth) = {tech.sigma_vth_v * 1e3:.0f} mV")
+    _say(f"  node cap = {tech.node_cap_f * 1e15:.3f} fF")
+    _say(
         f"  transit time tau({tech.vdd_nominal_v} V) = "
         f"{tech.transit_time_s(tech.vdd_nominal_v) * 1e15:.1f} fs"
     )
@@ -188,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-ser",
         description="Cross-layer SER analysis of SOI FinFET SRAM arrays "
         "(DAC 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-ser {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -232,14 +306,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="technology figures of merit")
     p_info.set_defaults(func=cmd_info)
+
+    for command_parser in (
+        p_build, p_fit, p_sweep, p_qcrit, p_report, p_figures, p_snm, p_info
+    ):
+        _add_obs(command_parser)
     return parser
+
+
+def _manifest_config(args) -> dict:
+    """JSON-safe view of the parsed arguments (drops the callable)."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key != "func" and not callable(value)
+    }
 
 
 def main(argv=None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+
+    configure_logging(level=args.log_level, quiet=args.quiet)
+    enable_metrics(fresh=True)
+    if args.trace:
+        configure_tracing(args.trace)
+
+    started_at = datetime.datetime.now(datetime.timezone.utc).isoformat()
+    t0 = time.perf_counter()
+    exit_code = 1
+    try:
+        with span(f"cli.{args.command}", argv=" ".join(argv or sys.argv[1:])):
+            exit_code = args.func(args)
+        return exit_code
+    finally:
+        duration_s = time.perf_counter() - t0
+        if args.metrics_out:
+            manifest = build_manifest(
+                command=args.command,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                config=_manifest_config(args),
+                seed=getattr(args, "seed", None),
+                started_at=started_at,
+                duration_s=duration_s,
+                exit_code=exit_code,
+                version=__version__,
+            )
+            manifest.write(args.metrics_out)
+            _say(f"run manifest written to {args.metrics_out}")
+        if args.trace:
+            reset_tracing()
+            _say(f"trace written to {args.trace}")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..io import ArtifactCache
 from ..layout import CellLayout, SramArrayLayout
+from ..obs import get_logger, get_registry, kv, span
 from ..physics import get_particle, spectrum_for
 from ..sram import (
     CharacterizationConfig,
@@ -42,6 +43,8 @@ from ..ser import (
     integrate_fit,
 )
 from ..transport import ElectronYieldLUT, TransportEngine
+
+_log = get_logger(__name__)
 
 #: Energy range [MeV] folded into the FIT integral per particle.  The
 #: published proton spectrum (Fig. 2(a)) spans 1-1e7 MeV; direct-
@@ -147,58 +150,64 @@ class SerFlow:
     def yield_luts(self) -> Dict[str, ElectronYieldLUT]:
         """Electron-yield LUTs per particle (built once, cached)."""
         if self._yield_luts is None:
-            from ..geometry import SoiFinWorld
+            with span(
+                "yield-luts", particles=",".join(self.config.particles)
+            ):
+                self._yield_luts = self._build_yield_luts()
+        return self._yield_luts
 
-            # The transport target is the full charge-collecting fin
-            # segment (channel + drain extension), matching the
-            # sensitive volumes the array layout draws.
-            from ..geometry import FinGeometry
+    def _build_yield_luts(self) -> Dict[str, ElectronYieldLUT]:
+        from ..geometry import SoiFinWorld
 
-            tech = self.design.tech
-            collection_fin = FinGeometry(
-                length_nm=tech.collection_length_nm,
-                width_nm=tech.fin.width_nm,
-                height_nm=tech.fin.height_nm,
+        # The transport target is the full charge-collecting fin
+        # segment (channel + drain extension), matching the
+        # sensitive volumes the array layout draws.
+        from ..geometry import FinGeometry
+
+        tech = self.design.tech
+        collection_fin = FinGeometry(
+            length_nm=tech.collection_length_nm,
+            width_nm=tech.fin.width_nm,
+            height_nm=tech.fin.height_nm,
+        )
+        engine = TransportEngine(world=SoiFinWorld(fin=collection_fin))
+        luts = {}
+        for name in self.config.particles:
+            particle = get_particle(name)
+            # The LUT covers the full Fig. 4/8 display range (0.1 -
+            # 100 MeV) even when the FIT integral folds a narrower
+            # band: POF-vs-energy scans query beyond the FIT bins,
+            # and a clamped LUT would flatten them.
+            e_lo, e_hi = self.config.energy_range_for(name)
+            e_lo, e_hi = min(e_lo, 0.1), max(e_hi, 100.0)
+            energies = np.logspace(
+                np.log10(e_lo), np.log10(e_hi), self.config.yield_energy_points
             )
-            engine = TransportEngine(world=SoiFinWorld(fin=collection_fin))
-            luts = {}
-            for name in self.config.particles:
-                particle = get_particle(name)
-                # The LUT covers the full Fig. 4/8 display range (0.1 -
-                # 100 MeV) even when the FIT integral folds a narrower
-                # band: POF-vs-energy scans query beyond the FIT bins,
-                # and a clamped LUT would flatten them.
-                e_lo, e_hi = self.config.energy_range_for(name)
-                e_lo, e_hi = min(e_lo, 0.1), max(e_hi, 100.0)
-                energies = np.logspace(
-                    np.log10(e_lo), np.log10(e_hi), self.config.yield_energy_points
+
+            def build(particle=particle, energies=energies):
+                return ElectronYieldLUT.build(
+                    particle,
+                    energies,
+                    self.config.yield_trials_per_energy,
+                    self._rng,
+                    engine=engine,
                 )
 
-                def build(particle=particle, energies=energies):
-                    return ElectronYieldLUT.build(
-                        particle,
-                        energies,
-                        self.config.yield_trials_per_energy,
-                        self._rng,
-                        engine=engine,
-                    )
-
-                if self.cache is not None:
-                    luts[name] = self.cache.get_or_build(
-                        f"yield-{name}",
-                        build,
-                        {
-                            "trials": self.config.yield_trials_per_energy,
-                            "points": self.config.yield_energy_points,
-                            "range": (e_lo, e_hi),
-                            "fin": self.design.tech.fin,
-                            "seed": self.config.seed,
-                        },
-                    )
-                else:
-                    luts[name] = build()
-            self._yield_luts = luts
-        return self._yield_luts
+            if self.cache is not None:
+                luts[name] = self.cache.get_or_build(
+                    f"yield-{name}",
+                    build,
+                    {
+                        "trials": self.config.yield_trials_per_energy,
+                        "points": self.config.yield_energy_points,
+                        "range": (e_lo, e_hi),
+                        "fin": self.design.tech.fin,
+                        "seed": self.config.seed,
+                    },
+                )
+            else:
+                luts[name] = build()
+        return luts
 
     # -- stage 2: cell level -----------------------------------------------------
 
@@ -210,12 +219,17 @@ class SerFlow:
             def build():
                 return characterize_cell(self.design, char_config)
 
-            if self.cache is not None:
-                self._pof_table = self.cache.get_or_build(
-                    "pof", build, char_config, self.design.tech
-                )
-            else:
-                self._pof_table = build()
+            with span(
+                "pof-table",
+                vdds=len(char_config.vdd_list),
+                samples=char_config.n_samples,
+            ):
+                if self.cache is not None:
+                    self._pof_table = self.cache.get_or_build(
+                        "pof", build, char_config, self.design.tech
+                    )
+                else:
+                    self._pof_table = build()
         return self._pof_table
 
     # -- stage 3: array level -----------------------------------------------------
@@ -266,10 +280,16 @@ class SerFlow:
         """Array POF at explicit energies (the paper's Fig. 8 scan)."""
         particle = get_particle(particle_name)
         n = n_particles if n_particles is not None else self.config.mc_particles_per_bin
-        return [
-            self.simulator().run(particle, float(e), vdd_v, n, self._rng)
-            for e in energies_mev
-        ]
+        with span(
+            "pof-vs-energy",
+            particle=particle_name,
+            vdd=vdd_v,
+            energies=len(list(energies_mev)),
+        ):
+            return [
+                self.simulator().run(particle, float(e), vdd_v, n, self._rng)
+                for e in energies_mev
+            ]
 
     def fit(self, particle_name: str, vdd_v: float) -> FitResult:
         """FIT rate of one (particle, vdd) case (eqs. 7-8)."""
@@ -277,17 +297,42 @@ class SerFlow:
         spectrum = spectrum_for(particle_name)
         e_lo, e_hi = self.config.energy_range_for(particle_name)
         bins = spectrum.make_bins(self.config.n_energy_bins, e_lo, e_hi)
-        results = [
-            self.simulator().run(
-                particle,
-                float(energy),
-                vdd_v,
-                self.config.mc_particles_per_bin,
-                self._rng,
-            )
-            for energy in bins.representative_mev
-        ]
-        return integrate_fit(particle_name, vdd_v, bins, results)
+        with span("fit", particle=particle_name, vdd=vdd_v, bins=len(bins)):
+            results = [
+                self.simulator().run(
+                    particle,
+                    float(energy),
+                    vdd_v,
+                    self.config.mc_particles_per_bin,
+                    self._rng,
+                )
+                for energy in bins.representative_mev
+            ]
+            self._record_convergence(particle_name, vdd_v, results)
+            return integrate_fit(particle_name, vdd_v, bins, results)
+
+    def _record_convergence(self, particle_name, vdd_v, results):
+        """Per-bin POF standard errors into the metrics registry.
+
+        The run manifest lifts the ``fit.pof_se.*`` gauges into its
+        ``convergence`` section; each gauge is the worst (largest)
+        per-bin standard error of one (particle, vdd) campaign.
+        """
+        metrics = get_registry()
+        if not metrics.enabled:
+            return
+        from ..analysis.convergence import pof_standard_error
+
+        errors = [pof_standard_error(r) for r in results]
+        worst = max(errors) if errors else 0.0
+        histogram = metrics.histogram("fit.pof_standard_error")
+        for error in errors:
+            histogram.observe(error)
+        metrics.gauge(f"fit.pof_se.{particle_name}.vdd={vdd_v:g}").set(worst)
+        _log.debug(
+            "fit convergence %s",
+            kv(particle=particle_name, vdd=vdd_v, max_pof_se=worst),
+        )
 
     def sweep(
         self,
@@ -310,12 +355,17 @@ class SerFlow:
                     sweep.add(self.fit(particle_name, float(vdd)))
             return sweep
 
-        if self.cache is not None:
-            return self.cache.get_or_build(
-                "sweep",
-                build,
-                self.config,
-                self.design.tech,
-                {"particles": particles, "vdds": vdd_list},
-            )
-        return build()
+        with span(
+            "sweep",
+            particles=",".join(particles),
+            vdds=len(vdd_list),
+        ):
+            if self.cache is not None:
+                return self.cache.get_or_build(
+                    "sweep",
+                    build,
+                    self.config,
+                    self.design.tech,
+                    {"particles": particles, "vdds": vdd_list},
+                )
+            return build()

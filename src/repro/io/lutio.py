@@ -10,13 +10,18 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from ..errors import SerializationError
+from ..obs import get_logger, get_registry, kv
 from ..sram.pof_lut import PofTable
 from ..transport.lut import ElectronYieldLUT
+
+_log = get_logger(__name__)
 
 def _load_ser_sweep(payload):
     from ..ser.results import SerSweep
@@ -30,12 +35,39 @@ _KIND_LOADERS = {
     "ser_sweep": _load_ser_sweep,
 }
 
+def _atomic_write(path: Path, writer, mode: str):
+    """Write via a unique same-directory temp file + ``os.replace``.
+
+    The temp name is unique (``mkstemp``), so concurrent writers never
+    clobber each other's half-written files; the payload is fsynced
+    before the rename, so an interrupted write can never leave a
+    truncated artifact under the final name.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode) as handle:
+            writer(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def save_artifact(artifact, path: Union[str, Path]):
-    """Write an artifact with a ``to_dict`` method to disk.
+    """Atomically write an artifact with a ``to_dict`` method to disk.
 
     Format follows the suffix: ``.json`` (default, human-readable) or
     ``.npz`` (compressed; the dict payload is embedded as a JSON blob
-    -- compact for the large POF grids).
+    -- compact for the large POF grids).  The write goes through a
+    unique temp file + ``os.replace`` so an interrupted run can never
+    leave a corrupt artifact at the target path.
     """
     path = Path(path)
     if not hasattr(artifact, "to_dict"):
@@ -51,15 +83,11 @@ def save_artifact(artifact, path: Union[str, Path]):
         blob = np.frombuffer(
             json.dumps(payload).encode("utf-8"), dtype=np.uint8
         )
-        tmp = path.with_suffix(".npz.tmp")
-        with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, payload=blob)
-        tmp.replace(path)
+        _atomic_write(
+            path, lambda handle: np.savez_compressed(handle, payload=blob), "wb"
+        )
         return
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w") as handle:
-        json.dump(payload, handle)
-    tmp.replace(path)
+    _atomic_write(path, lambda handle: json.dump(payload, handle), "w")
 
 def load_artifact(path: Union[str, Path]):
     """Load a previously saved artifact, dispatching on its ``kind``."""
@@ -129,13 +157,29 @@ class ArtifactCache:
         """Load the cached artifact or build + store it.
 
         ``builder`` is a zero-argument callable producing the artifact.
+        Cache traffic is counted in the metrics registry
+        (``lut_cache.hits`` / ``misses`` / ``writes`` / ``invalid``).
         """
+        metrics = get_registry()
         path = self.path_for(name, *config_objects)
         if path.exists():
             try:
-                return load_artifact(path)
-            except SerializationError:
+                artifact = load_artifact(path)
+            except SerializationError as exc:
+                metrics.counter("lut_cache.invalid").inc()
+                _log.warning(
+                    "discarding corrupt cache entry %s",
+                    kv(name=name, path=path, error=exc),
+                )
                 path.unlink(missing_ok=True)
+            else:
+                metrics.counter("lut_cache.hits").inc()
+                _log.debug("cache hit %s", kv(name=name, path=path))
+                return artifact
+        metrics.counter("lut_cache.misses").inc()
+        _log.debug("cache miss %s", kv(name=name, path=path))
         artifact = builder()
         save_artifact(artifact, path)
+        metrics.counter("lut_cache.writes").inc()
+        _log.debug("cache write %s", kv(name=name, path=path))
         return artifact

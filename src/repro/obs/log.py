@@ -1,0 +1,120 @@
+"""Structured logging for the library and the CLI.
+
+Two separate channels, both rooted under the stdlib ``logging`` tree:
+
+* ``repro.*`` — diagnostic logging from library modules (progress,
+  cache decisions, throughput).  Silent by default (a ``NullHandler``
+  on the root ``repro`` logger); :func:`configure_logging` attaches a
+  stderr handler at the requested ``--log-level``.
+* ``repro.cli.out`` — the CLI's *user-facing* result lines, emitted at
+  INFO to stdout with a bare formatter.  ``--quiet`` raises this
+  channel to ERROR, suppressing all non-error output.
+
+Library modules obtain loggers with ``get_logger(__name__)`` and log
+key=value structured messages (see :func:`kv`)::
+
+    _log = get_logger(__name__)
+    _log.debug("array-mc chunk %s", kv(done=done, total=n, rays_per_s=r))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+__all__ = [
+    "LOGGER_NAME",
+    "OUT_LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+    "get_output_logger",
+    "kv",
+]
+
+LOGGER_NAME = "repro"
+OUT_LOGGER_NAME = "repro.cli.out"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+# Library is silent unless the host application configures logging.
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` tree (module diagnostics)."""
+    if not name:
+        return logging.getLogger(LOGGER_NAME)
+    if not name.startswith(LOGGER_NAME):
+        name = f"{LOGGER_NAME}.{name}"
+    return logging.getLogger(name)
+
+
+def get_output_logger() -> logging.Logger:
+    """The CLI's user-facing stdout channel."""
+    return logging.getLogger(OUT_LOGGER_NAME)
+
+
+def resolve_level(level) -> int:
+    """Map a level name (or int) to a ``logging`` level."""
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; pick one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def configure_logging(
+    level="warning",
+    quiet: bool = False,
+    stream=None,
+    out_stream=None,
+):
+    """(Re)configure both channels; idempotent per call.
+
+    Handlers are replaced, not stacked, so repeated CLI invocations in
+    one process (tests!) never duplicate output.  ``stream`` defaults
+    to the *current* ``sys.stderr`` and ``out_stream`` to the current
+    ``sys.stdout`` so capture fixtures see the output.
+    """
+    diag = logging.getLogger(LOGGER_NAME)
+    for handler in list(diag.handlers):
+        diag.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    diag.addHandler(handler)
+    diag.setLevel(resolve_level(level))
+    diag.propagate = False
+
+    out = logging.getLogger(OUT_LOGGER_NAME)
+    for handler in list(out.handlers):
+        out.removeHandler(handler)
+    out_handler = logging.StreamHandler(
+        out_stream if out_stream is not None else sys.stdout
+    )
+    out_handler.setFormatter(logging.Formatter("%(message)s"))
+    out.addHandler(out_handler)
+    out.setLevel(logging.ERROR if quiet else logging.INFO)
+    out.propagate = False
+
+
+def kv(**fields) -> str:
+    """Render keyword fields as a ``key=value`` structured suffix."""
+    parts = []
+    for key, value in fields.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.6g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)

@@ -1,0 +1,212 @@
+"""Run manifests: one JSON document per CLI invocation.
+
+The manifest is the durable record of a run — what was asked
+(command, argv, config, seed), what it cost (stage timings, MC trial
+counts, rays/sec throughput), how trustworthy the numbers are
+(convergence standard errors), and whether the LUT caches worked
+(hit/miss/write counts).  ``repro-ser <cmd> --metrics-out run.json``
+writes one; :func:`RunManifest.from_dict` round-trips it.
+
+Convenience sections (``stage_timings_s``, ``mc``, ``lut_cache``,
+``convergence``) are *derived* from the full metrics snapshot kept in
+``metrics`` — the snapshot is the ground truth, the sections are what
+a human greps for first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..errors import SerializationError
+from .registry import get_registry
+
+__all__ = ["RunManifest", "build_manifest", "MANIFEST_KIND", "SCHEMA_VERSION"]
+
+MANIFEST_KIND = "run_manifest"
+SCHEMA_VERSION = 1
+
+#: Metric-name prefixes lifted into the manifest's summary sections.
+_STAGE_PREFIX = "stage."
+_CONVERGENCE_PREFIX = "fit.pof_se."
+
+
+@dataclass
+class RunManifest:
+    """Schema of one run record (see module docstring)."""
+
+    command: str
+    argv: List[str]
+    config: dict
+    seed: Optional[int]
+    started_at: str
+    duration_s: float
+    exit_code: int
+    version: str
+    python: str = field(default_factory=platform.python_version)
+    stage_timings_s: dict = field(default_factory=dict)
+    mc: dict = field(default_factory=dict)
+    lut_cache: dict = field(default_factory=dict)
+    convergence: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": MANIFEST_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "command": self.command,
+            "argv": list(self.argv),
+            "config": self.config,
+            "seed": self.seed,
+            "started_at": self.started_at,
+            "duration_s": self.duration_s,
+            "exit_code": self.exit_code,
+            "version": self.version,
+            "python": self.python,
+            "stage_timings_s": self.stage_timings_s,
+            "mc": self.mc,
+            "lut_cache": self.lut_cache,
+            "convergence": self.convergence,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        if payload.get("kind") != MANIFEST_KIND:
+            raise SerializationError(
+                f"payload is not a run manifest (kind={payload.get('kind')!r})"
+            )
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            raise SerializationError(
+                "unsupported manifest schema version "
+                f"{payload.get('schema_version')!r}"
+            )
+        required = (
+            "command",
+            "argv",
+            "config",
+            "started_at",
+            "duration_s",
+            "exit_code",
+            "version",
+        )
+        missing = [key for key in required if key not in payload]
+        if missing:
+            raise SerializationError(
+                f"manifest is missing required keys: {missing}"
+            )
+        return cls(
+            command=payload["command"],
+            argv=list(payload["argv"]),
+            config=dict(payload["config"]),
+            seed=payload.get("seed"),
+            started_at=payload["started_at"],
+            duration_s=float(payload["duration_s"]),
+            exit_code=int(payload["exit_code"]),
+            version=payload["version"],
+            python=payload.get("python", ""),
+            stage_timings_s=dict(payload.get("stage_timings_s", {})),
+            mc=dict(payload.get("mc", {})),
+            lut_cache=dict(payload.get("lut_cache", {})),
+            convergence=dict(payload.get("convergence", {})),
+            metrics=dict(payload.get("metrics", {})),
+        )
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Atomically write the manifest as pretty-printed JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(
+                f"cannot load manifest {path}: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
+def build_manifest(
+    command: str,
+    argv: List[str],
+    config: dict,
+    seed: Optional[int],
+    started_at: str,
+    duration_s: float,
+    exit_code: int,
+    version: str,
+    registry=None,
+) -> RunManifest:
+    """Assemble a manifest from the current metrics registry snapshot."""
+    registry = registry if registry is not None else get_registry()
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    timers = snapshot.get("timers", {})
+
+    stage_timings = {
+        name[len(_STAGE_PREFIX):]: stats
+        for name, stats in timers.items()
+        if name.startswith(_STAGE_PREFIX)
+    }
+    mc = {
+        "array_particles": counters.get("array_mc.particles", 0),
+        "array_hits": counters.get("array_mc.hits", 0),
+        "fin_strikes": counters.get("array_mc.strikes", 0),
+        "array_runs": counters.get("array_mc.runs", 0),
+        "transport_trials": counters.get("transport.trials", 0),
+        "characterization_points": counters.get(
+            "characterize.grid_points", 0
+        ),
+        "rays_per_sec": gauges.get("array_mc.rays_per_sec", 0.0),
+    }
+    lut_cache = {
+        "hits": counters.get("lut_cache.hits", 0),
+        "misses": counters.get("lut_cache.misses", 0),
+        "writes": counters.get("lut_cache.writes", 0),
+        "invalid": counters.get("lut_cache.invalid", 0),
+    }
+    convergence = {
+        name[len(_CONVERGENCE_PREFIX):]: value
+        for name, value in gauges.items()
+        if name.startswith(_CONVERGENCE_PREFIX)
+    }
+    return RunManifest(
+        command=command,
+        argv=list(argv),
+        config=config,
+        seed=seed,
+        started_at=started_at,
+        duration_s=duration_s,
+        exit_code=exit_code,
+        version=version,
+        stage_timings_s=stage_timings,
+        mc=mc,
+        lut_cache=lut_cache,
+        convergence=convergence,
+        metrics=snapshot,
+    )

@@ -1,0 +1,339 @@
+"""Process-wide metrics registry (counters, gauges, timers, histograms).
+
+The registry is the measurement surface of the whole flow: every hot
+path increments named instruments through :func:`get_registry`, and a
+run's :class:`~repro.obs.manifest.RunManifest` snapshots them at exit.
+
+Instrumentation is **disabled by default** so library users and the
+benchmarks pay nothing: :func:`get_registry` then returns the shared
+:class:`NullRegistry`, whose instruments are shared no-op singletons.
+Call :func:`enable_metrics` (the CLI does) to install a live
+:class:`MetricsRegistry`.
+
+Thread-safety: instrument *creation* is locked; instrument *updates*
+are plain attribute arithmetic (exact under the GIL for the
+single-threaded flow; approximate, never crashing, under threads).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "get_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1):
+        self.value += amount
+
+    def snapshot(self):
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins scalar (e.g. current throughput)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float):
+        self.value = float(value)
+
+    def snapshot(self):
+        return self.value
+
+
+class Timer:
+    """Accumulated duration statistics (seconds)."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = 0.0
+
+    def observe(self, seconds: float):
+        seconds = float(seconds)
+        self.count += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def time(self):
+        """Context manager observing the wall time of its body."""
+        return _TimerContext(self)
+
+    def snapshot(self):
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_t0")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+
+    def __enter__(self):
+        self._t0 = time.perf_counter()
+        return self._timer
+
+    def __exit__(self, exc_type, exc, tb):
+        self._timer.observe(time.perf_counter() - self._t0)
+        return False
+
+
+#: Default histogram bin edges: log-ish spread useful for POF standard
+#: errors and per-chunk durations alike.
+DEFAULT_EDGES = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+
+class Histogram:
+    """A fixed-bin histogram.
+
+    ``edges`` are the upper bounds of the first ``len(edges)`` bins; a
+    final overflow bin absorbs everything above the last edge, so
+    ``counts`` has ``len(edges) + 1`` entries.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total")
+
+    def __init__(self, name: str, edges: Optional[Sequence[float]] = None):
+        self.name = name
+        edges = tuple(float(e) for e in (edges or DEFAULT_EDGES))
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram edges must be strictly increasing")
+        self.edges = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float):
+        value = float(value)
+        self.counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self):
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshot-able to a dict."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, store, name, factory):
+        instrument = store.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = store.get(name)
+                if instrument is None:
+                    instrument = store[name] = factory(name)
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(self._timers, name, Timer)
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get(
+            self._histograms, name, lambda n: Histogram(n, edges)
+        )
+
+    def time(self, name: str):
+        """Shorthand: ``with registry.time("stage.fit"): ...``."""
+        return self.timer(name).time()
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-safe)."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: v.snapshot() for k, v in sorted(self._counters.items())
+                },
+                "gauges": {
+                    k: v.snapshot() for k, v in sorted(self._gauges.items())
+                },
+                "timers": {
+                    k: v.snapshot() for k, v in sorted(self._timers.items())
+                },
+                "histograms": {
+                    k: v.snapshot()
+                    for k, v in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self):
+        """Drop every instrument (a fresh run starts clean)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+            self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument returned by :class:`NullRegistry`."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    count = 0
+    total_s = 0.0
+    mean_s = 0.0
+
+    def inc(self, amount: int = 1):
+        pass
+
+    def set(self, value: float):
+        pass
+
+    def observe(self, value: float):
+        pass
+
+    def time(self):
+        return _NULL_CONTEXT
+
+    def snapshot(self):
+        return 0
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The disabled-state registry: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def timer(self, name: str):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, edges=None):
+        return _NULL_INSTRUMENT
+
+    def time(self, name: str):
+        return _NULL_CONTEXT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+
+    def reset(self):
+        pass
+
+
+_NULL_REGISTRY = NullRegistry()
+_registry = _NULL_REGISTRY
+
+
+def get_registry():
+    """The process-wide registry (the no-op one unless metrics are on)."""
+    return _registry
+
+
+def enable_metrics(fresh: bool = False) -> MetricsRegistry:
+    """Install (or return) the live registry.
+
+    ``fresh=True`` resets any existing instruments so each CLI
+    invocation starts a clean manifest.
+    """
+    global _registry
+    if not isinstance(_registry, MetricsRegistry):
+        _registry = MetricsRegistry()
+    elif fresh:
+        _registry.reset()
+    return _registry
+
+
+def disable_metrics():
+    """Restore the zero-cost no-op registry."""
+    global _registry
+    _registry = _NULL_REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _registry.enabled

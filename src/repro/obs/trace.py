@@ -1,0 +1,189 @@
+"""Tracing spans: nested wall-time measurement streamed to JSONL.
+
+A span brackets one stage of the flow::
+
+    from repro.obs import span
+
+    with span("array-mc", particle="alpha", energy_mev=2.0):
+        ...
+
+Spans nest (a thread-local stack tracks the active parent), record
+wall time, mirror their duration into the metrics registry as a
+``stage.<name>`` timer, and — when a trace file is configured with
+:func:`configure_tracing` — append one JSON line per *completed* span:
+
+``{"type": "span", "id": 3, "parent": 1, "depth": 1, "name": "...",``
+``"t_start": <unix s>, "dur_s": <float>, "status": "ok", "attrs": {...}}``
+
+Lines appear in completion order (children before their parent); the
+``id``/``parent``/``depth`` fields let a reader rebuild the tree.
+
+When neither tracing nor metrics are enabled, :func:`span` returns a
+shared no-op context manager — two global reads, no allocation — so
+instrumented hot paths cost nothing in the disabled state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Optional
+
+from .registry import get_registry
+
+__all__ = [
+    "span",
+    "Span",
+    "TraceWriter",
+    "configure_tracing",
+    "reset_tracing",
+    "tracing_enabled",
+    "current_span",
+]
+
+_writer: Optional["TraceWriter"] = None
+_ids = itertools.count(1)
+_local = threading.local()
+
+
+class TraceWriter:
+    """Append-only JSONL sink for completed spans."""
+
+    def __init__(self, path):
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "w")
+        self.write({"type": "trace", "format": 1})
+
+    def write(self, record: dict):
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self):
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+
+def configure_tracing(path) -> TraceWriter:
+    """Stream all subsequent spans to a JSONL file at ``path``."""
+    global _writer
+    if _writer is not None:
+        _writer.close()
+    _writer = TraceWriter(path)
+    return _writer
+
+
+def reset_tracing():
+    """Stop tracing and close the trace file (no-op when off)."""
+    global _writer
+    if _writer is not None:
+        _writer.close()
+        _writer = None
+
+
+def tracing_enabled() -> bool:
+    return _writer is not None
+
+
+def _stack():
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span of this thread (None outside spans)."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One live stage measurement; use via :func:`span`."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "depth",
+        "t_start",
+        "_perf0",
+        "duration_s",
+    )
+
+    def __init__(self, name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = next(_ids)
+        self.parent_id = None
+        self.depth = 0
+        self.t_start = 0.0
+        self.duration_s = None
+
+    def __enter__(self):
+        stack = _stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = stack[-1].depth + 1
+        stack.append(self)
+        self.t_start = time.time()
+        self._perf0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.duration_s = time.perf_counter() - self._perf0
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        registry = get_registry()
+        if registry.enabled:
+            registry.timer(f"stage.{self.name}").observe(self.duration_s)
+        if _writer is not None:
+            _writer.write(
+                {
+                    "type": "span",
+                    "id": self.span_id,
+                    "parent": self.parent_id,
+                    "depth": self.depth,
+                    "name": self.name,
+                    "t_start": self.t_start,
+                    "dur_s": self.duration_s,
+                    "status": "error" if exc_type is not None else "ok",
+                    "attrs": self.attrs,
+                }
+            )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span for the disabled state."""
+
+    __slots__ = ()
+    name = "null"
+    duration_s = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """A context manager timing one named stage (no-op when disabled)."""
+    if _writer is None and not get_registry().enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)

@@ -19,9 +19,12 @@ from typing import List, Sequence
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import get_logger, get_registry, kv
 from ..physics.spectra import EnergyBins
 from ..units import per_second_to_fit
 from .mc import ArrayPofResult
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,20 @@ def integrate_fit(
     )
     flux = bins.integral_flux_per_cm2_s  # [1/(cm^2 s)]
     rates_per_s = pof.T @ flux * area_cm2  # (3,)
+
+    metrics = get_registry()
+    if metrics.enabled:
+        metrics.counter("fit.integrations").inc()
+        metrics.counter("fit.energy_bins").inc(len(bins))
+        _log.debug(
+            "fit integrated %s",
+            kv(
+                particle=particle_name,
+                vdd=vdd_v,
+                bins=len(bins),
+                fit_total=per_second_to_fit(float(rates_per_s[0])),
+            ),
+        )
 
     return FitResult(
         particle_name=particle_name,

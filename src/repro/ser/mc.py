@@ -20,6 +20,8 @@ Two charge-deposition modes (DESIGN.md Section 5):
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -29,6 +31,7 @@ from ..constants import ELEMENTARY_CHARGE_C
 from ..errors import ConfigError
 from ..geometry import RayBatch, chord_lengths
 from ..layout import SramArrayLayout
+from ..obs import get_logger, get_registry, kv
 from ..physics import (
     ParticleType,
     sample_deposits_kev,
@@ -38,6 +41,8 @@ from ..physics import (
 from ..sram import PofTable
 from ..transport import ElectronYieldLUT
 from .pof import combine, multiplicity_pmf
+
+_log = get_logger(__name__)
 
 DEPOSITION_MODES = ("lut", "direct")
 
@@ -191,6 +196,12 @@ class ArraySerSimulator:
         n_strikes = 0
         pmf_sum = np.zeros(self.config.max_multiplicity + 1)
 
+        metrics = get_registry()
+        instrumented = metrics.enabled
+        progress = _log.isEnabledFor(logging.DEBUG)
+        t0 = time.perf_counter() if (instrumented or progress) else 0.0
+
+        done = 0
         remaining = n_particles
         while remaining > 0:
             batch = min(remaining, self.config.chunk_size)
@@ -205,6 +216,27 @@ class ArraySerSimulator:
             n_hits += hits
             n_strikes += strikes
             pmf_sum += pmf
+            done += batch
+            if progress:
+                elapsed = time.perf_counter() - t0
+                _log.debug(
+                    "array-mc chunk %s",
+                    kv(
+                        particle=particle.name,
+                        energy_mev=float(energy_mev),
+                        vdd=vdd_v,
+                        done=done,
+                        total=n_particles,
+                        hits=n_hits,
+                        rays_per_s=done / elapsed if elapsed > 0 else 0.0,
+                    ),
+                )
+
+        if instrumented:
+            self._record_run_metrics(
+                metrics, n_particles, n_hits, n_strikes,
+                time.perf_counter() - t0,
+            )
 
         return ArrayPofResult(
             particle_name=particle.name,
@@ -254,6 +286,12 @@ class ArraySerSimulator:
         n_strikes = 0
         pmf_sum = np.zeros(self.config.max_multiplicity + 1)
 
+        metrics = get_registry()
+        instrumented = metrics.enabled
+        progress = _log.isEnabledFor(logging.DEBUG)
+        t0 = time.perf_counter() if (instrumented or progress) else 0.0
+
+        done = 0
         remaining = n_particles
         while remaining > 0:
             batch = min(remaining, self.config.chunk_size)
@@ -271,6 +309,26 @@ class ArraySerSimulator:
             n_hits += hits
             n_strikes += strikes
             pmf_sum += pmf
+            done += batch
+            if progress:
+                elapsed = time.perf_counter() - t0
+                _log.debug(
+                    "array-mc spectrum chunk %s",
+                    kv(
+                        particle=particle.name,
+                        vdd=vdd_v,
+                        done=done,
+                        total=n_particles,
+                        hits=n_hits,
+                        rays_per_s=done / elapsed if elapsed > 0 else 0.0,
+                    ),
+                )
+
+        if instrumented:
+            self._record_run_metrics(
+                metrics, n_particles, n_hits, n_strikes,
+                time.perf_counter() - t0,
+            )
 
         return ArrayPofResult(
             particle_name=particle.name,
@@ -285,6 +343,19 @@ class ArraySerSimulator:
             launch_area_cm2=launch_area,
             multiplicity_pmf=pmf_sum / n_particles,
         )
+
+    # -- instrumentation -------------------------------------------------------
+
+    @staticmethod
+    def _record_run_metrics(metrics, n_particles, n_hits, n_strikes, elapsed):
+        """Fold one campaign into the registry (enabled state only)."""
+        metrics.counter("array_mc.runs").inc()
+        metrics.counter("array_mc.particles").inc(n_particles)
+        metrics.counter("array_mc.hits").inc(n_hits)
+        metrics.counter("array_mc.strikes").inc(n_strikes)
+        metrics.timer("array_mc.run").observe(elapsed)
+        if elapsed > 0:
+            metrics.gauge("array_mc.rays_per_sec").set(n_particles / elapsed)
 
     # -- kernel ----------------------------------------------------------------
 

@@ -18,10 +18,13 @@ import numpy as np
 
 from ..devices import VariationModel
 from ..errors import ConfigError
+from ..obs import get_logger, get_registry, kv, span
 from .cell import SramCellDesign
 from .fastcell import FastCell
 from .pof_lut import PofTable
 from .strike import ALL_COMBOS
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -137,18 +140,42 @@ def characterize_cell(
     shared_axis = config.charge_axis_c()
     pof_grids = {}
 
-    for combo in ALL_COMBOS:
-        combo_axis = config.axis_for_combo(combo)
-        per_vdd = []
-        for vdd in config.vdd_list:
-            grid = _pof_grid_for_combo(
-                design, vdd, combo, combo_axis, shifts, config
+    metrics = get_registry()
+    with span(
+        "characterize-cell",
+        vdds=len(config.vdd_list),
+        combos=len(ALL_COMBOS),
+        samples=n_samples,
+    ):
+        for combo in ALL_COMBOS:
+            combo_axis = config.axis_for_combo(combo)
+            combo_points = len(combo_axis) ** len(combo)
+            per_vdd = []
+            for vdd in config.vdd_list:
+                grid = _pof_grid_for_combo(
+                    design, vdd, combo, combo_axis, shifts, config
+                )
+                if config.enforce_monotone:
+                    grid = _enforce_monotone(grid)
+                grid = _resample_to_axis(grid, combo_axis, shared_axis)
+                per_vdd.append(grid)
+                if metrics.enabled:
+                    metrics.counter("characterize.grid_points").inc(
+                        combo_points
+                    )
+                    metrics.counter("characterize.cell_sims").inc(
+                        combo_points * n_samples
+                    )
+            pof_grids[combo] = np.stack(per_vdd, axis=0)
+            _log.debug(
+                "characterized combo %s",
+                kv(
+                    combo="+".join(str(i) for i in combo),
+                    vdds=len(config.vdd_list),
+                    grid_points=combo_points,
+                    samples=n_samples,
+                ),
             )
-            if config.enforce_monotone:
-                grid = _enforce_monotone(grid)
-            grid = _resample_to_axis(grid, combo_axis, shared_axis)
-            per_vdd.append(grid)
-        pof_grids[combo] = np.stack(per_vdd, axis=0)
 
     return PofTable(
         vdd_list=np.array(config.vdd_list),

@@ -15,6 +15,7 @@ material; nuclear reactions are negligible for *direct* ionization
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -22,6 +23,7 @@ import numpy as np
 
 from ..errors import ConfigError
 from ..geometry import RayBatch, SoiFinWorld, chord_lengths, stack_boxes
+from ..obs import get_logger, get_registry, kv
 from ..physics import (
     ParticleType,
     sample_deposits_kev,
@@ -29,6 +31,8 @@ from ..physics import (
     sample_rays,
 )
 from .events import TransportResult
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -89,7 +93,27 @@ class TransportEngine:
             self.world.launch_plane_z(),
             law=self.config.direction_law,
         )
-        return self.transport(particle, energy_mev, rays, rng)
+        metrics = get_registry()
+        if not metrics.enabled:
+            return self.transport(particle, energy_mev, rays, rng)
+        t0 = time.perf_counter()
+        result = self.transport(particle, energy_mev, rays, rng)
+        elapsed = time.perf_counter() - t0
+        metrics.counter("transport.launches").inc()
+        metrics.counter("transport.trials").inc(n_particles)
+        metrics.counter("transport.fin_hits").inc(int(np.sum(result.hit_mask)))
+        metrics.timer("transport.launch").observe(elapsed)
+        _log.debug(
+            "transport launch %s",
+            kv(
+                particle=particle.name,
+                energy_mev=float(energy_mev),
+                trials=n_particles,
+                hit_fraction=result.hit_fraction,
+                trials_per_s=n_particles / elapsed if elapsed > 0 else 0.0,
+            ),
+        )
+        return result
 
     def transport(
         self,

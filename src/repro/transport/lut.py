@@ -24,8 +24,11 @@ from typing import Optional
 import numpy as np
 
 from ..errors import ConfigError, LookupError_
+from ..obs import get_logger, kv, span
 from ..physics import ParticleType, get_particle
 from .engine import TransportConfig, TransportEngine
+
+_log = get_logger(__name__)
 
 _DEFAULT_QUANTILES = 129
 
@@ -116,16 +119,35 @@ class ElectronYieldLUT:
         quantile_grid = np.linspace(0.0, 1.0, n_quantiles)
         quantiles = np.zeros((len(energies), n_quantiles))
 
-        for i, energy in enumerate(energies):
-            result = engine.launch(particle, float(energy), trials_per_energy, rng)
-            hit_fraction[i] = result.hit_fraction
-            conditional = result.pairs_given_hit()
-            if len(conditional) == 0:
-                # No geometric hits at this statistics level: record a
-                # degenerate (all-zero) distribution rather than failing.
-                continue
-            mean_pairs[i] = float(np.mean(conditional))
-            quantiles[i] = np.quantile(conditional, quantile_grid)
+        with span(
+            "yield-lut-build",
+            particle=particle.name,
+            energies=len(energies),
+            trials_per_energy=int(trials_per_energy),
+        ):
+            for i, energy in enumerate(energies):
+                result = engine.launch(
+                    particle, float(energy), trials_per_energy, rng
+                )
+                hit_fraction[i] = result.hit_fraction
+                conditional = result.pairs_given_hit()
+                _log.debug(
+                    "yield LUT energy point %s",
+                    kv(
+                        particle=particle.name,
+                        point=f"{i + 1}/{len(energies)}",
+                        energy_mev=float(energy),
+                        hit_fraction=result.hit_fraction,
+                        mean_pairs=result.mean_pairs_given_hit,
+                    ),
+                )
+                if len(conditional) == 0:
+                    # No geometric hits at this statistics level: record a
+                    # degenerate (all-zero) distribution rather than
+                    # failing.
+                    continue
+                mean_pairs[i] = float(np.mean(conditional))
+                quantiles[i] = np.quantile(conditional, quantile_grid)
 
         return cls(
             particle_name=particle.name,

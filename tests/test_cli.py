@@ -21,6 +21,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_obs_flags_on_every_subcommand(self):
+        parser = build_parser()
+        for command in ("info", "qcrit", "snm", "fit", "sweep", "build-luts"):
+            args = parser.parse_args([command, "--quiet", "--log-level", "debug"])
+            assert args.quiet is True
+            assert args.log_level == "debug"
+            assert args.metrics_out is None
+            assert args.trace is None
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -33,6 +50,15 @@ class TestCommands:
         assert main(["qcrit", "--vdd-list", "0.8"]) == 0
         out = capsys.readouterr().out
         assert "Qcrit" in out
+
+    def test_quiet_suppresses_output(self, capsys):
+        assert main(["qcrit", "--vdd-list", "0.8", "--quiet"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+    def test_info_quiet(self, capsys):
+        assert main(["info", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
 
     def test_fit_small(self, capsys, tmp_path):
         code = main(

@@ -58,6 +58,43 @@ class TestSaveLoad:
             load_artifact(tmp_path / "absent.json")
 
 
+class TestAtomicWrites:
+    def test_no_temp_litter_after_save(self, lut, tmp_path):
+        save_artifact(lut, tmp_path / "lut.json")
+        save_artifact(lut, tmp_path / "lut.npz")
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            "lut.json",
+            "lut.npz",
+        ]
+
+    def test_failed_write_leaves_no_trace(self, tmp_path):
+        class Broken:
+            """to_dict succeeds; JSON encoding fails mid-write."""
+
+            def to_dict(self):
+                return {"kind": "electron_yield_lut", "bad": object()}
+
+        path = tmp_path / "broken.json"
+        with pytest.raises(TypeError):
+            save_artifact(Broken(), path)
+        # neither the target nor any temp file may exist
+        assert list(tmp_path.iterdir()) == []
+
+    def test_failed_write_preserves_existing_artifact(self, lut, tmp_path):
+        path = tmp_path / "lut.json"
+        save_artifact(lut, path)
+        good = path.read_text()
+
+        class Broken:
+            def to_dict(self):
+                return {"kind": "electron_yield_lut", "bad": object()}
+
+        with pytest.raises(TypeError):
+            save_artifact(Broken(), path)
+        assert path.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["lut.json"]
+
+
 class TestConfigHash:
     def test_deterministic(self):
         assert config_hash({"a": 1}) == config_hash({"a": 1})

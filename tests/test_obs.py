@@ -1,0 +1,367 @@
+"""Tests of the observability substrate (repro.obs)."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.errors import SerializationError
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    RunManifest,
+    build_manifest,
+    configure_tracing,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    kv,
+    metrics_enabled,
+    reset_tracing,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with obs fully disabled."""
+    disable_metrics()
+    reset_tracing()
+    yield
+    disable_metrics()
+    reset_tracing()
+
+
+class TestRegistryInstruments:
+    def test_counter_semantics(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        # same name -> same instrument
+        assert registry.counter("x") is counter
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(1.0)
+        gauge.set(42.5)
+        assert gauge.value == 42.5
+
+    def test_timer_statistics(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.observe(1.0)
+        timer.observe(3.0)
+        assert timer.count == 2
+        assert timer.total_s == pytest.approx(4.0)
+        assert timer.mean_s == pytest.approx(2.0)
+        assert timer.min_s == pytest.approx(1.0)
+        assert timer.max_s == pytest.approx(3.0)
+
+    def test_timer_context_manager(self):
+        registry = MetricsRegistry()
+        with registry.time("body"):
+            pass
+        assert registry.timer("body").count == 1
+        assert registry.timer("body").total_s >= 0.0
+
+    def test_histogram_binning(self):
+        histogram = Histogram("h", edges=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(138.875)
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(2.0, 1.0))
+
+    def test_snapshot_structure(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.25)
+        registry.histogram("h", edges=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["histograms"]["h"]["counts"] == [1, 0]
+        # snapshot must be JSON-serializable as-is
+        json.dumps(snap)
+
+    def test_reset_clears_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestEnableDisable:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+        assert isinstance(get_registry(), NullRegistry)
+
+    def test_null_registry_is_noop(self):
+        registry = get_registry()
+        registry.counter("c").inc(10)
+        registry.gauge("g").set(5.0)
+        registry.timer("t").observe(1.0)
+        with registry.time("t"):
+            pass
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "timers": {},
+            "histograms": {},
+        }
+
+    def test_enable_installs_live_registry(self):
+        registry = enable_metrics()
+        assert metrics_enabled()
+        registry.counter("c").inc()
+        # enable again without fresh keeps state
+        assert enable_metrics().counter("c").value == 1
+        # fresh=True resets
+        assert enable_metrics(fresh=True).counter("c").value == 0
+
+    def test_disabled_span_is_shared_noop(self):
+        first = span("a")
+        second = span("b", attr=1)
+        assert first is second  # the shared null span
+
+
+class TestSpans:
+    def test_span_records_stage_timer(self):
+        registry = enable_metrics(fresh=True)
+        with span("unit-stage"):
+            pass
+        timer = registry.timer("stage.unit-stage")
+        assert timer.count == 1
+
+    def test_span_nesting_and_jsonl_output(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        configure_tracing(trace_path)
+        assert tracing_enabled()
+        with span("outer", level="top") as outer:
+            with span("inner") as inner:
+                assert inner.depth == outer.depth + 1
+                assert inner.parent_id == outer.span_id
+        reset_tracing()
+
+        lines = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "trace"
+        spans = [rec for rec in lines if rec["type"] == "span"]
+        # completion order: inner closes first
+        assert [s["name"] for s in spans] == ["inner", "outer"]
+        inner_rec, outer_rec = spans
+        assert inner_rec["parent"] == outer_rec["id"]
+        assert inner_rec["depth"] == outer_rec["depth"] + 1
+        assert inner_rec["dur_s"] <= outer_rec["dur_s"]
+        assert outer_rec["attrs"] == {"level": "top"}
+        assert all(s["status"] == "ok" for s in spans)
+
+    def test_span_error_status(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        configure_tracing(trace_path)
+        with pytest.raises(RuntimeError):
+            with span("boom"):
+                raise RuntimeError("x")
+        reset_tracing()
+        spans = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if json.loads(line)["type"] == "span"
+        ]
+        assert spans[0]["status"] == "error"
+
+    def test_tracing_without_metrics_still_traces(self, tmp_path):
+        assert not metrics_enabled()
+        trace_path = tmp_path / "trace.jsonl"
+        configure_tracing(trace_path)
+        with span("lone"):
+            pass
+        reset_tracing()
+        assert "lone" in trace_path.read_text()
+
+
+class TestManifest:
+    def _populated_registry(self):
+        registry = enable_metrics(fresh=True)
+        registry.counter("array_mc.particles").inc(1000)
+        registry.counter("array_mc.hits").inc(500)
+        registry.counter("lut_cache.hits").inc(2)
+        registry.counter("lut_cache.misses").inc(1)
+        registry.counter("lut_cache.writes").inc(1)
+        registry.gauge("array_mc.rays_per_sec").set(12345.0)
+        registry.gauge("fit.pof_se.alpha.vdd=0.8").set(1e-3)
+        registry.timer("stage.fit").observe(2.5)
+        return registry
+
+    def _manifest(self):
+        return build_manifest(
+            command="fit",
+            argv=["fit", "--vdd", "0.8"],
+            config={"vdd": 0.8, "seed": 2014},
+            seed=2014,
+            started_at="2026-08-06T00:00:00+00:00",
+            duration_s=2.5,
+            exit_code=0,
+            version="1.0.0",
+        )
+
+    def test_build_manifest_lifts_summary_sections(self):
+        self._populated_registry()
+        manifest = self._manifest()
+        assert manifest.mc["array_particles"] == 1000
+        assert manifest.mc["rays_per_sec"] == 12345.0
+        assert manifest.lut_cache == {
+            "hits": 2,
+            "misses": 1,
+            "writes": 1,
+            "invalid": 0,
+        }
+        assert manifest.convergence == {"alpha.vdd=0.8": 1e-3}
+        assert manifest.stage_timings_s["fit"]["total_s"] == pytest.approx(2.5)
+        assert manifest.metrics["counters"]["array_mc.hits"] == 500
+
+    def test_round_trip(self):
+        self._populated_registry()
+        manifest = self._manifest()
+        payload = manifest.to_dict()
+        clone = RunManifest.from_dict(payload)
+        assert clone.to_dict() == payload
+
+    def test_write_and_load(self, tmp_path):
+        self._populated_registry()
+        manifest = self._manifest()
+        path = manifest.write(tmp_path / "run.json")
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+        # atomic write leaves no temp litter
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_from_dict_rejects_bad_payloads(self):
+        with pytest.raises(SerializationError):
+            RunManifest.from_dict({"kind": "something-else"})
+        with pytest.raises(SerializationError):
+            RunManifest.from_dict(
+                {"kind": "run_manifest", "schema_version": 99}
+            )
+        with pytest.raises(SerializationError):
+            RunManifest.from_dict(
+                {"kind": "run_manifest", "schema_version": 1}
+            )
+
+
+class TestKv:
+    def test_formats_floats_compactly(self):
+        assert kv(a=1, b=0.123456789, c="x") == "a=1 b=0.123457 c=x"
+
+
+class TestCacheCounters:
+    """Cache hit/miss counters across two build-luts CLI runs."""
+
+    ARGS = [
+        "build-luts",
+        "--particles",
+        "alpha",
+        "--yield-trials",
+        "300",
+        "--yield-points",
+        "4",
+        "--samples",
+        "8",
+        "--quiet",
+    ]
+
+    def test_counters_across_two_runs(self, tmp_path):
+        from repro.cli import main
+
+        args = self.ARGS + ["--cache-dir", str(tmp_path)]
+
+        assert main(args) == 0
+        first = get_registry().snapshot()["counters"]
+        assert first.get("lut_cache.misses", 0) >= 2  # yield LUT + POF table
+        assert first.get("lut_cache.hits", 0) == 0
+        assert first.get("lut_cache.writes", 0) == first["lut_cache.misses"]
+
+        assert main(args) == 0
+        second = get_registry().snapshot()["counters"]
+        assert second.get("lut_cache.hits", 0) >= 2
+        assert second.get("lut_cache.misses", 0) == 0
+
+    def test_corrupt_cache_entry_counts_invalid(self, tmp_path):
+        from repro.cli import main
+
+        args = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        for cached in tmp_path.glob("*.json"):
+            cached.write_text("{ not json")
+        assert main(args) == 0
+        counters = get_registry().snapshot()["counters"]
+        assert counters.get("lut_cache.invalid", 0) >= 2
+        assert counters.get("lut_cache.misses", 0) >= 2
+
+
+class TestInstrumentedFlow:
+    def test_fit_records_metrics_and_manifest_fields(self, tmp_path):
+        """`repro-ser fit --metrics-out` emits the full manifest."""
+        from repro.cli import main
+
+        out = tmp_path / "run.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "fit",
+                "--vdd",
+                "0.8",
+                "--particles",
+                "alpha",
+                "--mc-particles",
+                "2000",
+                "--samples",
+                "8",
+                "--yield-trials",
+                "300",
+                "--yield-points",
+                "4",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--metrics-out",
+                str(out),
+                "--trace",
+                str(trace),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        manifest = RunManifest.load(out)
+        assert manifest.command == "fit"
+        assert manifest.exit_code == 0
+        assert manifest.seed == 2014
+        assert manifest.mc["array_particles"] > 0
+        assert manifest.mc["rays_per_sec"] > 0
+        assert manifest.mc["transport_trials"] > 0
+        assert manifest.lut_cache["misses"] >= 2
+        assert "fit" in manifest.stage_timings_s
+        assert "pof-table" in manifest.stage_timings_s
+        assert manifest.convergence  # per-bin POF standard errors
+        for value in manifest.convergence.values():
+            assert math.isfinite(value) and value >= 0
+        # trace contains the nested stages
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+            if json.loads(line).get("type") == "span"
+        }
+        assert {"cli.fit", "fit", "pof-table", "yield-luts"} <= names
