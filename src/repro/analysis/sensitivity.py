@@ -123,10 +123,12 @@ def ser_sensitivities(
     parameter plus one base run -- size the ``config`` accordingly.
     """
     design = base_design if base_design is not None else SramCellDesign()
+    # common random numbers: campaigns derive their streams from the
+    # config seed, so flows sharing it see identical MC draws.
+    crn_config = dataclasses.replace(config, seed=mc_seed)
 
     def fit_for(active_design: SramCellDesign) -> float:
-        flow = SerFlow(config, design=active_design)
-        flow._rng = np.random.default_rng(mc_seed)
+        flow = SerFlow(crn_config, design=active_design)
         return flow.fit(particle_name, vdd_v).fit_total
 
     fit_base = fit_for(design)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from ..devices.finfet import FinFETModel
 from ..errors import CircuitError
@@ -70,7 +70,7 @@ def format_spice_number(value: float) -> str:
 # -- writing ----------------------------------------------------------------
 
 
-def circuit_to_spice(circuit: Circuit, title: str = None) -> str:
+def circuit_to_spice(circuit: Circuit, title: Optional[str] = None) -> str:
     """Render a :class:`Circuit` as SPICE netlist text."""
     lines = [f"* {title or circuit.name}"]
     models: Dict[str, FinFETModel] = {}
@@ -158,7 +158,7 @@ def _waveform_to_spice(waveform: Waveform) -> str:
     )
 
 
-def write_spice(circuit: Circuit, path: Union[str, Path], title: str = None):
+def write_spice(circuit: Circuit, path: Union[str, Path], title: Optional[str] = None):
     """Write a circuit to a ``.sp`` file."""
     Path(path).write_text(circuit_to_spice(circuit, title))
 

@@ -11,8 +11,10 @@ Subcommands mirror the flow stages:
 * ``figures``    -- export every reproduced figure series as CSV.
 * ``report``     -- regenerate the paper's evaluation as markdown.
 
-Every subcommand accepts the observability flags (see
-``docs/observability.md``):
+Every subcommand accepts ``--jobs N`` to fan the Monte Carlo stages
+out across N worker processes (``0`` = one per CPU; results are
+bit-identical for any value -- see ``docs/performance.md``), plus the
+observability flags (see ``docs/observability.md``):
 
 * ``--log-level {debug,info,warning,error}`` -- diagnostic logging to
   stderr (per-chunk MC progress lives at ``debug``).
@@ -75,6 +77,18 @@ def _add_obs(parser):
     )
 
 
+def _add_jobs(parser):
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the Monte Carlo stages "
+        "(1 = serial, 0 = one per CPU; results are identical "
+        "for any value)",
+    )
+
+
 def _add_common(parser):
     parser.add_argument(
         "--cache-dir",
@@ -133,7 +147,9 @@ def _make_flow(args, vdd_list=None):
         mc_particles_per_bin=args.mc_particles,
         seed=args.seed,
     )
-    return SerFlow(config, cache_dir=args.cache_dir)
+    return SerFlow(
+        config, cache_dir=args.cache_dir, n_jobs=getattr(args, "jobs", 1)
+    )
 
 
 def cmd_build_luts(args) -> int:
@@ -310,6 +326,7 @@ def build_parser() -> argparse.ArgumentParser:
     for command_parser in (
         p_build, p_fit, p_sweep, p_qcrit, p_report, p_figures, p_snm, p_info
     ):
+        _add_jobs(command_parser)
         _add_obs(command_parser)
     return parser
 

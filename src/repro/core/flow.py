@@ -18,6 +18,7 @@ build up LUTs" is honored across process restarts.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -27,6 +28,7 @@ from ..errors import ConfigError
 from ..io import ArtifactCache
 from ..layout import CellLayout, SramArrayLayout
 from ..obs import get_logger, get_registry, kv, span
+from ..parallel import parallel_map
 from ..physics import get_particle, spectrum_for
 from ..sram import (
     CharacterizationConfig,
@@ -127,23 +129,61 @@ class FlowConfig:
         )
 
 
+def _flow_campaign_task(payload, task):
+    """Pool worker: one array-MC campaign of a flow-level scan."""
+    energy_mev, seed = task
+    return payload["simulator"].run(
+        payload["particle"],
+        float(energy_mev),
+        payload["vdd_v"],
+        payload["n_particles"],
+        np.random.default_rng(seed),
+    )
+
+
 class SerFlow:
-    """End-to-end SER estimation for one cell design + array geometry."""
+    """End-to-end SER estimation for one cell design + array geometry.
+
+    ``n_jobs`` selects the worker-process count of every Monte Carlo
+    stage (1 = inline, 0 = one per CPU).  It deliberately lives on the
+    flow object, not on :class:`FlowConfig`: results are bit-identical
+    for any worker count, so the execution width must not perturb the
+    cache keys derived from the config.
+    """
 
     def __init__(
         self,
         config: Optional[FlowConfig] = None,
         design: Optional[SramCellDesign] = None,
         cache_dir: Optional[str] = None,
+        n_jobs: int = 1,
     ):
         self.config = config if config is not None else FlowConfig()
         self.design = design if design is not None else SramCellDesign()
         self.cache = ArtifactCache(cache_dir) if cache_dir else None
-        self._rng = np.random.default_rng(self.config.seed)
+        self.n_jobs = n_jobs
         self._yield_luts: Optional[Dict[str, ElectronYieldLUT]] = None
         self._pof_table: Optional[PofTable] = None
         self._layout: Optional[SramArrayLayout] = None
         self._simulator: Optional[ArraySerSimulator] = None
+
+    def _campaign_seed(self, *key_parts) -> np.random.SeedSequence:
+        """Deterministic child seed for one named campaign.
+
+        A pure function of ``config.seed`` and the campaign key, so
+        every campaign's stream is independent of call order and cache
+        warmth -- a cold-cache `fit` and a warm-cache one see the same
+        random numbers.
+        """
+        key = "/".join(str(part) for part in key_parts)
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        words = [
+            int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+        ]
+        return np.random.SeedSequence([self.config.seed, *words])
+
+    def _campaign_rng(self, *key_parts) -> np.random.Generator:
+        return np.random.default_rng(self._campaign_seed(*key_parts))
 
     # -- stage 1: device level ------------------------------------------------
 
@@ -189,8 +229,9 @@ class SerFlow:
                     particle,
                     energies,
                     self.config.yield_trials_per_energy,
-                    self._rng,
+                    self._campaign_rng("yield-lut", particle.name),
                     engine=engine,
+                    n_jobs=self.n_jobs,
                 )
 
             if self.cache is not None:
@@ -217,7 +258,9 @@ class SerFlow:
             char_config = self.config.effective_characterization()
 
             def build():
-                return characterize_cell(self.design, char_config)
+                return characterize_cell(
+                    self.design, char_config, n_jobs=self.n_jobs
+                )
 
             with span(
                 "pof-table",
@@ -266,6 +309,7 @@ class SerFlow:
                 config=ArrayMcConfig(
                     deposition_mode=self.config.deposition_mode,
                     margin_nm=self.config.margin_nm,
+                    n_jobs=self.n_jobs,
                 ),
             )
         return self._simulator
@@ -280,16 +324,48 @@ class SerFlow:
         """Array POF at explicit energies (the paper's Fig. 8 scan)."""
         particle = get_particle(particle_name)
         n = n_particles if n_particles is not None else self.config.mc_particles_per_bin
+        energies = [float(e) for e in energies_mev]
         with span(
             "pof-vs-energy",
             particle=particle_name,
             vdd=vdd_v,
-            energies=len(list(energies_mev)),
+            energies=len(energies),
         ):
-            return [
-                self.simulator().run(particle, float(e), vdd_v, n, self._rng)
-                for e in energies_mev
-            ]
+            return self._run_campaigns(
+                "pof-vs-energy", particle, vdd_v, energies, n
+            )
+
+    def _run_campaigns(self, stage, particle, vdd_v, energies, n_particles):
+        """Independent array-MC campaigns, one per energy, fanned out.
+
+        Each campaign draws from its own :meth:`_campaign_seed` stream,
+        so the list of results is a pure function of the flow seed --
+        independent of execution order, worker count, and whichever
+        campaigns ran earlier in the process.  The campaigns are spread
+        across workers here; inside a worker the simulator's own
+        (inner) parallelism stands down automatically.
+        """
+        tasks = [
+            (
+                energy,
+                self._campaign_seed(
+                    stage, particle.name, f"{vdd_v:g}", f"{energy:.9g}"
+                ),
+            )
+            for energy in energies
+        ]
+        return parallel_map(
+            _flow_campaign_task,
+            tasks,
+            payload={
+                "simulator": self.simulator(),
+                "particle": particle,
+                "vdd_v": vdd_v,
+                "n_particles": n_particles,
+            },
+            n_jobs=self.n_jobs,
+            label="flow_campaigns",
+        )
 
     def fit(self, particle_name: str, vdd_v: float) -> FitResult:
         """FIT rate of one (particle, vdd) case (eqs. 7-8)."""
@@ -298,16 +374,13 @@ class SerFlow:
         e_lo, e_hi = self.config.energy_range_for(particle_name)
         bins = spectrum.make_bins(self.config.n_energy_bins, e_lo, e_hi)
         with span("fit", particle=particle_name, vdd=vdd_v, bins=len(bins)):
-            results = [
-                self.simulator().run(
-                    particle,
-                    float(energy),
-                    vdd_v,
-                    self.config.mc_particles_per_bin,
-                    self._rng,
-                )
-                for energy in bins.representative_mev
-            ]
+            results = self._run_campaigns(
+                "fit",
+                particle,
+                vdd_v,
+                [float(energy) for energy in bins.representative_mev],
+                self.config.mc_particles_per_bin,
+            )
             self._record_convergence(particle_name, vdd_v, results)
             return integrate_fit(particle_name, vdd_v, bins, results)
 

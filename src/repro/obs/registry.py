@@ -94,6 +94,16 @@ class Timer:
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0
 
+    def merge(self, snapshot: dict):
+        """Fold another timer's :meth:`snapshot` into this one."""
+        count = int(snapshot.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total_s += float(snapshot.get("total_s", 0.0))
+        self.min_s = min(self.min_s, float(snapshot.get("min_s", math.inf)))
+        self.max_s = max(self.max_s, float(snapshot.get("max_s", 0.0)))
+
     def time(self):
         """Context manager observing the wall time of its body."""
         return _TimerContext(self)
@@ -159,6 +169,18 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, snapshot: dict):
+        """Fold another histogram's :meth:`snapshot` into this one."""
+        edges = tuple(float(e) for e in snapshot.get("edges", ()))
+        if edges != self.edges:
+            raise ValueError(
+                f"cannot merge histogram {self.name!r}: edge mismatch"
+            )
+        for i, count in enumerate(snapshot.get("counts", ())):
+            self.counts[i] += int(count)
+        self.count += int(snapshot.get("count", 0))
+        self.total += float(snapshot.get("total", 0.0))
 
     def snapshot(self):
         return {
@@ -229,6 +251,25 @@ class MetricsRegistry:
                     for k, v in sorted(self._histograms.items())
                 },
             }
+
+    def merge_snapshot(self, snapshot: dict):
+        """Fold a :meth:`snapshot` dict (e.g. from a pool worker) in.
+
+        Counters and histogram bins add, timers merge their duration
+        statistics, gauges are last-write-wins.  This is how
+        :func:`repro.parallel.parallel_map` surfaces worker-side
+        instrumentation in the parent process manifest.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, timer_snapshot in snapshot.get("timers", {}).items():
+            self.timer(name).merge(timer_snapshot)
+        for name, hist_snapshot in snapshot.get("histograms", {}).items():
+            self.histogram(name, hist_snapshot.get("edges")).merge(
+                hist_snapshot
+            )
 
     def reset(self):
         """Drop every instrument (a fresh run starts clean)."""
@@ -301,6 +342,9 @@ class NullRegistry:
 
     def snapshot(self) -> dict:
         return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+
+    def merge_snapshot(self, snapshot: dict):
+        pass
 
     def reset(self):
         pass

@@ -1,0 +1,15 @@
+"""Parallel campaign execution: sharded Monte Carlo across processes.
+
+See :mod:`repro.parallel.engine` for the determinism contract (fixed
+sharding + spawned child streams + ordered merges = bit-identical
+results for any worker count).
+"""
+
+from .engine import ParallelConfig, parallel_map, resolve_jobs, spawn_seeds
+
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "resolve_jobs",
+    "spawn_seeds",
+]

@@ -1,0 +1,217 @@
+"""Process-pool execution engine for the Monte Carlo stages.
+
+The paper's flow is embarrassingly parallel at every level -- transport
+trials per LUT energy point, Vth-variation samples per POF grid point,
+and independent array-MC campaigns per (particle, energy, vdd).  This
+module is the one place that knows how to fan such work out across
+worker processes and fold the partial results back:
+
+* :func:`parallel_map` -- ordered map of a *module-level* worker
+  function over a task list, through a ``multiprocessing`` pool.  A
+  shared read-only payload (simulator, engine, design...) is shipped to
+  each worker once via the pool initializer instead of once per task.
+* :func:`spawn_seeds` -- deterministic child ``SeedSequence`` streams
+  off a caller's generator, the backbone of the engine's reproducibility
+  contract.
+
+Determinism contract
+--------------------
+Callers split their work into *fixed-size* shards (independent of the
+worker count), draw one spawned child stream per shard, and merge the
+shard results **in shard order**.  ``parallel_map`` preserves input
+order and ``n_jobs=1`` bypasses the pool entirely while running the
+exact same sharded code path, so for a fixed seed the merged result is
+bit-identical for any worker count.
+
+Worker-side metrics recorded through :mod:`repro.obs` are snapshotted
+per task, returned with the result, and merged into the parent
+registry, so ``--metrics-out`` manifests stay complete under
+parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..obs import get_logger, get_registry, kv
+from ..obs.registry import enable_metrics
+
+_log = get_logger(__name__)
+
+__all__ = [
+    "ParallelConfig",
+    "parallel_map",
+    "resolve_jobs",
+    "spawn_seeds",
+]
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the process-pool execution engine.
+
+    Attributes
+    ----------
+    n_jobs:
+        Worker processes; ``1`` runs inline (no pool), ``0`` means
+        "one per CPU".
+    start_method:
+        ``multiprocessing`` start method (``None`` = platform default,
+        ``fork`` on Linux).
+    """
+
+    n_jobs: int = 1
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.n_jobs < 0:
+            raise ConfigError("n_jobs cannot be negative (0 means auto)")
+
+    def resolved_jobs(self) -> int:
+        return resolve_jobs(self.n_jobs)
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Effective worker count: ``None``/1 serial, 0 = one per CPU."""
+    if n_jobs is None:
+        return 1
+    if n_jobs < 0:
+        raise ConfigError("n_jobs cannot be negative (0 means auto)")
+    if n_jobs == 0:
+        return os.cpu_count() or 1
+    return n_jobs
+
+
+def spawn_seeds(rng: np.random.Generator, n: int) -> List[np.random.SeedSequence]:
+    """``n`` child seed sequences off a generator's root entropy.
+
+    Uses ``np.random.SeedSequence.spawn`` on the generator's own seed
+    sequence, so consecutive calls yield fresh, statistically
+    independent streams while remaining a pure function of the
+    caller's original seed and the call order.  Generators without an
+    attached seed sequence (hand-built bit generators) fall back to a
+    sequence seeded from the generator's stream.
+    """
+    if n < 0:
+        raise ConfigError("cannot spawn a negative number of seeds")
+    seed_seq = getattr(rng.bit_generator, "seed_seq", None)
+    if seed_seq is None:
+        seed_seq = np.random.SeedSequence(int(rng.integers(0, 2**63)))
+    return seed_seq.spawn(n)
+
+
+# -- worker-side plumbing ------------------------------------------------------
+
+#: Shared read-only payload installed once per worker by the pool
+#: initializer (under ``fork`` it is inherited, never pickled per task).
+_WORKER_PAYLOAD: Any = None
+
+
+def _worker_init(payload, with_metrics: bool):
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+    if with_metrics:
+        # fresh registry per worker: task snapshots only carry
+        # worker-side increments, never the parent's forked state.
+        enable_metrics(fresh=True)
+
+
+def _invoke(item):
+    """Run one (fn, task) pair; return (result, metrics snapshot, busy s)."""
+    fn, task = item
+    t0 = time.perf_counter()
+    result = fn(_WORKER_PAYLOAD, task)
+    busy_s = time.perf_counter() - t0
+    registry = get_registry()
+    snapshot = None
+    if registry.enabled:
+        snapshot = registry.snapshot()
+        registry.reset()
+    return result, snapshot, busy_s
+
+
+def _in_worker() -> bool:
+    """True inside a pool worker (daemon), where nesting is forbidden."""
+    return multiprocessing.current_process().daemon
+
+
+def parallel_map(
+    fn: Callable[[Any, Any], Any],
+    tasks: Sequence[Any],
+    *,
+    payload: Any = None,
+    n_jobs: int = 1,
+    label: str = "map",
+    start_method: Optional[str] = None,
+) -> list:
+    """Ordered map of ``fn(payload, task)`` over ``tasks``.
+
+    ``fn`` must be a module-level function (pickled by reference).  With
+    ``n_jobs <= 1``, a single task, or when already inside a pool
+    worker, the map runs inline -- no pool, no pickling -- executing the
+    identical code path, so results never depend on the worker count.
+
+    Records ``parallel.*`` metrics when the registry is live: worker
+    count, task count, per-label map wall time, queue overhead,
+    snapshot-merge time and the effective speedup (total worker busy
+    time / wall time).
+    """
+    tasks = list(tasks)
+    jobs = min(resolve_jobs(n_jobs), len(tasks))
+    metrics = get_registry()
+
+    if jobs <= 1 or len(tasks) <= 1 or _in_worker():
+        if metrics.enabled:
+            metrics.counter("parallel.serial_maps").inc()
+            with metrics.time(f"parallel.map.{label}"):
+                return [fn(payload, task) for task in tasks]
+        return [fn(payload, task) for task in tasks]
+
+    t0 = time.perf_counter()
+    context = multiprocessing.get_context(start_method)
+    with context.Pool(
+        processes=jobs,
+        initializer=_worker_init,
+        initargs=(payload, metrics.enabled),
+    ) as pool:
+        packed = pool.map(_invoke, [(fn, task) for task in tasks], chunksize=1)
+    wall_s = time.perf_counter() - t0
+
+    results = [result for result, _, _ in packed]
+    busy_s = sum(busy for _, _, busy in packed)
+    if metrics.enabled:
+        merge_t0 = time.perf_counter()
+        for _, snapshot, _ in packed:
+            if snapshot is not None:
+                metrics.merge_snapshot(snapshot)
+        merge_s = time.perf_counter() - merge_t0
+        metrics.counter("parallel.maps").inc()
+        metrics.counter("parallel.tasks").inc(len(tasks))
+        metrics.gauge("parallel.workers").set(jobs)
+        metrics.timer(f"parallel.map.{label}").observe(wall_s)
+        metrics.timer(f"parallel.merge.{label}").observe(merge_s)
+        # pool overhead beyond perfectly-packed worker busy time
+        metrics.timer(f"parallel.queue.{label}").observe(
+            max(wall_s - busy_s / jobs, 0.0)
+        )
+        if wall_s > 0:
+            metrics.gauge(f"parallel.speedup.{label}").set(busy_s / wall_s)
+    _log.debug(
+        "parallel map %s",
+        kv(
+            label=label,
+            tasks=len(tasks),
+            workers=jobs,
+            wall_s=round(wall_s, 4),
+            busy_s=round(busy_s, 4),
+            speedup=round(busy_s / wall_s, 2) if wall_s > 0 else 0.0,
+        ),
+    )
+    return results

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -85,8 +85,8 @@ class _SpectrumBase:
     def make_bins(
         self,
         n_bins: int,
-        e_min_mev: float = None,
-        e_max_mev: float = None,
+        e_min_mev: Optional[float] = None,
+        e_max_mev: Optional[float] = None,
     ) -> EnergyBins:
         """Log-spaced energy discretization with per-bin integral fluxes."""
         if n_bins < 1:
@@ -110,8 +110,8 @@ class _SpectrumBase:
         n: int,
         rng: np.random.Generator,
         n_bins: int = 256,
-        e_min_mev: float = None,
-        e_max_mev: float = None,
+        e_min_mev: Optional[float] = None,
+        e_max_mev: Optional[float] = None,
     ) -> np.ndarray:
         """Sample energies [MeV] with probability proportional to flux.
 

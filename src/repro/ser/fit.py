@@ -14,7 +14,7 @@ POFs are duly paid for with the larger area.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -61,8 +61,8 @@ class FitResult:
 def fit_from_spectrum_run(
     spectrum,
     result: ArrayPofResult,
-    e_min_mev: float = None,
-    e_max_mev: float = None,
+    e_min_mev: Optional[float] = None,
+    e_max_mev: Optional[float] = None,
 ) -> FitResult:
     """FIT from a continuous-spectrum campaign (no binning).
 

@@ -16,14 +16,22 @@ Two charge-deposition modes (DESIGN.md Section 5):
 * ``"direct"`` -- deposits are computed from the actual chord through
   each fin (stopping power + straggling), keeping the array geometry
   and the deposit perfectly consistent.
+
+Execution model (docs/performance.md): a campaign is partitioned into
+fixed-size *draw blocks* of :data:`DRAW_BLOCK_SIZE` particles.  Block
+``i`` always consumes the ``i``-th child stream spawned off the
+caller's generator, blocks are bundled into pool tasks of roughly
+``chunk_size`` particles, and the per-block partial results are merged
+in block order -- so for a fixed seed the campaign result is
+bit-identical for any ``n_jobs`` and any ``chunk_size``.
 """
 
 from __future__ import annotations
 
-import logging
+import math
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +40,7 @@ from ..errors import ConfigError
 from ..geometry import RayBatch, chord_lengths
 from ..layout import SramArrayLayout
 from ..obs import get_logger, get_registry, kv
+from ..parallel import parallel_map, spawn_seeds
 from ..physics import (
     ParticleType,
     sample_deposits_kev,
@@ -40,7 +49,7 @@ from ..physics import (
 )
 from ..sram import PofTable
 from ..transport import ElectronYieldLUT
-from .pof import combine, multiplicity_pmf
+from .pof import _ONE_MINUS_EPS, combine, multiplicity_pmf
 
 _log = get_logger(__name__)
 
@@ -50,6 +59,12 @@ DEPOSITION_MODES = ("lut", "direct")
 #: isotropically, atmospheric protons follow the cosine law.
 DEFAULT_DIRECTION_LAWS = {"alpha": "isotropic", "proton": "cosine"}
 
+#: RNG granularity of a campaign.  Particles are partitioned into draw
+#: blocks of this fixed size and each block owns one spawned child
+#: stream, so a campaign's random numbers depend only on the seed and
+#: ``n_particles`` -- never on ``chunk_size`` or the worker count.
+DRAW_BLOCK_SIZE = 4096
+
 
 @dataclass(frozen=True)
 class ArrayMcConfig:
@@ -57,11 +72,15 @@ class ArrayMcConfig:
 
     deposition_mode: str = "lut"
     margin_nm: float = 100.0
+    #: Target particles per pool task (rounded up to whole draw
+    #: blocks).  A scheduling knob only -- it never changes results.
     chunk_size: int = 8192
     direction_laws: Optional[Dict[str, str]] = None
     #: Largest tracked failure multiplicity (the last PMF bin absorbs
     #: events with >= this many failed cells).
     max_multiplicity: int = 8
+    #: Worker processes for campaigns (1 = inline, 0 = one per CPU).
+    n_jobs: int = 1
 
     def __post_init__(self):
         if self.deposition_mode not in DEPOSITION_MODES:
@@ -72,6 +91,8 @@ class ArrayMcConfig:
             raise ConfigError("margin cannot be negative")
         if self.chunk_size < 1:
             raise ConfigError("chunk size must be positive")
+        if self.n_jobs < 0:
+            raise ConfigError("n_jobs cannot be negative (0 means auto)")
 
     def law_for(self, particle_name: str) -> str:
         laws = self.direction_laws or DEFAULT_DIRECTION_LAWS
@@ -142,6 +163,106 @@ class ArrayPofResult:
             return 0.0
         return float(np.sum(ks * self.multiplicity_pmf)) / mass
 
+    @classmethod
+    def merge(cls, shards: Sequence["ArrayPofResult"]) -> "ArrayPofResult":
+        """Combine shard campaigns of one (particle, energy, vdd) point.
+
+        POFs and the multiplicity PMF are particle-count-weighted means;
+        hit/strike counts add.  The shards must describe the *same*
+        campaign point -- mismatched particle/energy/vdd/launch-window
+        shards, or shards whose PMFs were tracked with different
+        ``max_multiplicity`` settings, raise :class:`ConfigError`
+        instead of silently producing a skewed merge.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ConfigError("cannot merge an empty list of shard results")
+        first = shards[0]
+
+        def pmf_len(result):
+            pmf = result.multiplicity_pmf
+            return None if pmf is None else len(pmf)
+
+        for shard in shards[1:]:
+            if shard.particle_name != first.particle_name:
+                raise ConfigError(
+                    "cannot merge shards of different particles "
+                    f"({first.particle_name!r} vs {shard.particle_name!r})"
+                )
+            if shard.energy_mev != first.energy_mev:
+                raise ConfigError(
+                    "cannot merge shards of different energies "
+                    f"({first.energy_mev} vs {shard.energy_mev} MeV)"
+                )
+            if shard.vdd_v != first.vdd_v:
+                raise ConfigError(
+                    "cannot merge shards of different supply voltages "
+                    f"({first.vdd_v} vs {shard.vdd_v} V)"
+                )
+            if shard.launch_area_cm2 != first.launch_area_cm2:
+                raise ConfigError(
+                    "cannot merge shards with different launch windows"
+                )
+            if pmf_len(shard) != pmf_len(first):
+                raise ConfigError(
+                    "cannot merge shards with mismatched max_multiplicity: "
+                    f"PMF lengths {pmf_len(first)} vs {pmf_len(shard)}"
+                )
+
+        n_total = sum(shard.n_particles for shard in shards)
+        if n_total < 1:
+            raise ConfigError("merged shards contain no particles")
+
+        def weighted(attr):
+            acc = 0.0
+            for shard in shards:
+                acc += getattr(shard, attr) * shard.n_particles
+            return acc / n_total
+
+        if first.multiplicity_pmf is None:
+            pmf = None
+        else:
+            pmf = np.zeros_like(first.multiplicity_pmf)
+            for shard in shards:
+                pmf += shard.multiplicity_pmf * shard.n_particles
+            pmf /= n_total
+
+        return cls(
+            particle_name=first.particle_name,
+            energy_mev=first.energy_mev,
+            vdd_v=first.vdd_v,
+            n_particles=n_total,
+            n_array_hits=sum(shard.n_array_hits for shard in shards),
+            n_fin_strikes=sum(shard.n_fin_strikes for shard in shards),
+            pof_total=weighted("pof_total"),
+            pof_seu=weighted("pof_seu"),
+            pof_mbu=weighted("pof_mbu"),
+            launch_area_cm2=first.launch_area_cm2,
+            multiplicity_pmf=pmf,
+        )
+
+
+def _draw_blocks(n_particles: int) -> List[int]:
+    """The fixed partition of a campaign into draw-block sizes."""
+    full, rest = divmod(n_particles, DRAW_BLOCK_SIZE)
+    blocks = [DRAW_BLOCK_SIZE] * full
+    if rest:
+        blocks.append(rest)
+    return blocks
+
+
+def _bundle_tasks(blocks, seeds, chunk_size: int):
+    """Group (size, seed) draw blocks into pool tasks of ~chunk_size."""
+    per_task = max(1, math.ceil(chunk_size / DRAW_BLOCK_SIZE))
+    pairs = list(zip(blocks, seeds))
+    return [pairs[i : i + per_task] for i in range(0, len(pairs), per_task)]
+
+
+def _array_task(payload, task):
+    """Pool worker: run the task's draw blocks, in order."""
+    simulator = payload["simulator"]
+    return [simulator._run_block(payload, size, seed) for size, seed in task]
+
 
 class ArraySerSimulator:
     """Runs array-level strike campaigns against one layout + POF table."""
@@ -169,6 +290,11 @@ class ArraySerSimulator:
         self._sens_cell = self.layout.fin_cell[sensitive]
         self._sens_strike = self.layout.fin_strike[sensitive]
         self._array_bbox = self.layout.bounding_box()
+        # chunk-invariant kernel inputs, hoisted out of the hot loop
+        self._bbox_packed = np.concatenate(
+            [self._array_bbox.lo, self._array_bbox.hi]
+        )[np.newaxis, :]
+        self._empty_pmf = np.zeros(self.config.max_multiplicity + 1)
 
     def run(
         self,
@@ -181,75 +307,14 @@ class ArraySerSimulator:
         """Monte Carlo POF of one (particle, energy, vdd) point."""
         if energy_mev <= 0:
             raise ConfigError("energy must be positive")
-        if n_particles < 1:
-            raise ConfigError("need at least one particle")
-
-        x_range, y_range, z, launch_area = self.layout.launch_window(
-            self.config.margin_nm
-        )
-        law = self.config.law_for(particle.name)
-
-        sum_total = 0.0
-        sum_seu = 0.0
-        sum_mbu = 0.0
-        n_hits = 0
-        n_strikes = 0
-        pmf_sum = np.zeros(self.config.max_multiplicity + 1)
-
-        metrics = get_registry()
-        instrumented = metrics.enabled
-        progress = _log.isEnabledFor(logging.DEBUG)
-        t0 = time.perf_counter() if (instrumented or progress) else 0.0
-
-        done = 0
-        remaining = n_particles
-        while remaining > 0:
-            batch = min(remaining, self.config.chunk_size)
-            remaining -= batch
-            rays = sample_rays(batch, rng, x_range, y_range, z, law)
-            totals, seus, mbus, hits, strikes, pmf = self._process_batch(
-                particle, energy_mev, vdd_v, rays, rng
-            )
-            sum_total += totals
-            sum_seu += seus
-            sum_mbu += mbus
-            n_hits += hits
-            n_strikes += strikes
-            pmf_sum += pmf
-            done += batch
-            if progress:
-                elapsed = time.perf_counter() - t0
-                _log.debug(
-                    "array-mc chunk %s",
-                    kv(
-                        particle=particle.name,
-                        energy_mev=float(energy_mev),
-                        vdd=vdd_v,
-                        done=done,
-                        total=n_particles,
-                        hits=n_hits,
-                        rays_per_s=done / elapsed if elapsed > 0 else 0.0,
-                    ),
-                )
-
-        if instrumented:
-            self._record_run_metrics(
-                metrics, n_particles, n_hits, n_strikes,
-                time.perf_counter() - t0,
-            )
-
-        return ArrayPofResult(
-            particle_name=particle.name,
-            energy_mev=float(energy_mev),
-            vdd_v=float(vdd_v),
-            n_particles=n_particles,
-            n_array_hits=n_hits,
-            n_fin_strikes=n_strikes,
-            pof_total=sum_total / n_particles,
-            pof_seu=sum_seu / n_particles,
-            pof_mbu=sum_mbu / n_particles,
-            launch_area_cm2=launch_area,
-            multiplicity_pmf=pmf_sum / n_particles,
+        return self._run_campaign(
+            particle,
+            float(energy_mev),
+            vdd_v,
+            n_particles,
+            rng,
+            spectrum=None,
+            e_range=None,
         )
 
     def run_spectrum(
@@ -259,8 +324,8 @@ class ArraySerSimulator:
         vdd_v: float,
         n_particles: int,
         rng: np.random.Generator,
-        e_min_mev: float = None,
-        e_max_mev: float = None,
+        e_min_mev: Optional[float] = None,
+        e_max_mev: Optional[float] = None,
     ) -> ArrayPofResult:
         """Continuous-spectrum campaign: each track gets its own energy.
 
@@ -271,77 +336,116 @@ class ArraySerSimulator:
         ``spectrum.integral_flux(e_min, e_max) * launch_area`` for the
         event rate (see :func:`repro.ser.fit.fit_from_spectrum_run`).
         """
-        if n_particles < 1:
-            raise ConfigError("need at least one particle")
         e_min = e_min_mev if e_min_mev is not None else spectrum.e_min_mev
         e_max = e_max_mev if e_max_mev is not None else spectrum.e_max_mev
-
-        x_range, y_range, z, launch_area = self.layout.launch_window(
-            self.config.margin_nm
+        return self._run_campaign(
+            particle,
+            float(np.sqrt(e_min * e_max)),
+            vdd_v,
+            n_particles,
+            rng,
+            spectrum=spectrum,
+            e_range=(float(e_min), float(e_max)),
         )
-        law = self.config.law_for(particle.name)
 
-        sum_total = sum_seu = sum_mbu = 0.0
-        n_hits = 0
-        n_strikes = 0
-        pmf_sum = np.zeros(self.config.max_multiplicity + 1)
+    # -- campaign execution ----------------------------------------------------
+
+    def _run_campaign(
+        self,
+        particle,
+        energy_mev,
+        vdd_v,
+        n_particles,
+        rng,
+        spectrum,
+        e_range,
+    ) -> ArrayPofResult:
+        if n_particles < 1:
+            raise ConfigError("need at least one particle")
+
+        window = self.layout.launch_window(self.config.margin_nm)
+        blocks = _draw_blocks(n_particles)
+        seeds = spawn_seeds(rng, len(blocks))
+        tasks = _bundle_tasks(blocks, seeds, self.config.chunk_size)
+        payload = {
+            "simulator": self,
+            "particle": particle,
+            "energy_mev": float(energy_mev),
+            "vdd_v": float(vdd_v),
+            "window": window,
+            "law": self.config.law_for(particle.name),
+            "spectrum": spectrum,
+            "e_range": e_range,
+        }
 
         metrics = get_registry()
-        instrumented = metrics.enabled
-        progress = _log.isEnabledFor(logging.DEBUG)
-        t0 = time.perf_counter() if (instrumented or progress) else 0.0
-
-        done = 0
-        remaining = n_particles
-        while remaining > 0:
-            batch = min(remaining, self.config.chunk_size)
-            remaining -= batch
-            energies = spectrum.sample_energies(
-                batch, rng, e_min_mev=e_min, e_max_mev=e_max
+        t0 = time.perf_counter()
+        with metrics.time("array_mc.run"):
+            nested = parallel_map(
+                _array_task,
+                tasks,
+                payload=payload,
+                n_jobs=self.config.n_jobs,
+                label="array_mc",
             )
-            rays = sample_rays(batch, rng, x_range, y_range, z, law)
-            totals, seus, mbus, hits, strikes, pmf = self._process_batch(
-                particle, energies, vdd_v, rays, rng
-            )
-            sum_total += totals
-            sum_seu += seus
-            sum_mbu += mbus
-            n_hits += hits
-            n_strikes += strikes
-            pmf_sum += pmf
-            done += batch
-            if progress:
-                elapsed = time.perf_counter() - t0
-                _log.debug(
-                    "array-mc spectrum chunk %s",
-                    kv(
-                        particle=particle.name,
-                        vdd=vdd_v,
-                        done=done,
-                        total=n_particles,
-                        hits=n_hits,
-                        rays_per_s=done / elapsed if elapsed > 0 else 0.0,
-                    ),
-                )
+            with metrics.time("array_mc.merge"):
+                block_results = [
+                    result for group in nested for result in group
+                ]
+                merged = ArrayPofResult.merge(block_results)
+        elapsed = time.perf_counter() - t0
 
-        if instrumented:
+        if metrics.enabled:
             self._record_run_metrics(
-                metrics, n_particles, n_hits, n_strikes,
-                time.perf_counter() - t0,
+                metrics,
+                merged.n_particles,
+                merged.n_array_hits,
+                merged.n_fin_strikes,
+                elapsed,
             )
+        return merged
 
+    def _run_block(self, payload, block_size: int, seed) -> ArrayPofResult:
+        """One draw block: sample, strike, combine -- with its own stream."""
+        rng = np.random.default_rng(seed)
+        x_range, y_range, z, launch_area = payload["window"]
+        spectrum = payload["spectrum"]
+        if spectrum is not None:
+            e_min, e_max = payload["e_range"]
+            energy = spectrum.sample_energies(
+                block_size, rng, e_min_mev=e_min, e_max_mev=e_max
+            )
+        else:
+            energy = payload["energy_mev"]
+        rays = sample_rays(
+            block_size, rng, x_range, y_range, z, payload["law"]
+        )
+        totals, seus, mbus, hits, strikes, pmf = self._process_batch(
+            payload["particle"], energy, payload["vdd_v"], rays, rng
+        )
+        _log.debug(
+            "array-mc block %s",
+            kv(
+                particle=payload["particle"].name,
+                energy_mev=payload["energy_mev"],
+                vdd=payload["vdd_v"],
+                particles=block_size,
+                hits=hits,
+                strikes=strikes,
+            ),
+        )
         return ArrayPofResult(
-            particle_name=particle.name,
-            energy_mev=float(np.sqrt(e_min * e_max)),
-            vdd_v=float(vdd_v),
-            n_particles=n_particles,
-            n_array_hits=n_hits,
-            n_fin_strikes=n_strikes,
-            pof_total=sum_total / n_particles,
-            pof_seu=sum_seu / n_particles,
-            pof_mbu=sum_mbu / n_particles,
+            particle_name=payload["particle"].name,
+            energy_mev=payload["energy_mev"],
+            vdd_v=payload["vdd_v"],
+            n_particles=block_size,
+            n_array_hits=hits,
+            n_fin_strikes=strikes,
+            pof_total=totals / block_size,
+            pof_seu=seus / block_size,
+            pof_mbu=mbus / block_size,
             launch_area_cm2=launch_area,
-            multiplicity_pmf=pmf_sum / n_particles,
+            multiplicity_pmf=pmf / block_size,
         )
 
     # -- instrumentation -------------------------------------------------------
@@ -353,23 +457,26 @@ class ArraySerSimulator:
         metrics.counter("array_mc.particles").inc(n_particles)
         metrics.counter("array_mc.hits").inc(n_hits)
         metrics.counter("array_mc.strikes").inc(n_strikes)
-        metrics.timer("array_mc.run").observe(elapsed)
         if elapsed > 0:
             metrics.gauge("array_mc.rays_per_sec").set(n_particles / elapsed)
 
     # -- kernel ----------------------------------------------------------------
 
-    def _process_batch(self, particle, energy_mev, vdd_v, rays: RayBatch, rng):
+    def _gather_strikes(self, particle, energy_mev, rays: RayBatch, rng):
+        """Shared front half of both kernels: rays -> per-strike charges.
+
+        Returns ``(n_hits, n_strikes, n_events, strikes)`` where
+        ``strikes`` is ``(ray_idx, cell_of, strike_of, charges)`` or
+        ``None`` when the batch produced no fin strikes.  Consumes the
+        generator identically in both kernel variants, so dense and
+        sparse runs of the same seed see the same physics.
+        """
         # Cheap prefilter: only tracks crossing the array bounding box
         # can strike a fin; run the expensive per-fin test on those.
-        bbox_packed = np.concatenate(
-            [self._array_bbox.lo, self._array_bbox.hi]
-        )[np.newaxis, :]
-        empty_pmf = np.zeros(self.config.max_multiplicity + 1)
-        array_hits = chord_lengths(rays, bbox_packed)[:, 0] > 0.0
+        array_hits = chord_lengths(rays, self._bbox_packed)[:, 0] > 0.0
         n_hits = int(np.sum(array_hits))
         if n_hits == 0:
-            return 0.0, 0.0, 0.0, 0, 0, empty_pmf
+            return 0, 0, 0, None
 
         hit_rays = RayBatch(
             rays.origins[array_hits], rays.directions[array_hits]
@@ -381,29 +488,129 @@ class ArraySerSimulator:
 
         event_rows = np.nonzero(np.any(chords > 0.0, axis=1))[0]
         if len(event_rows) == 0:
-            return 0.0, 0.0, 0.0, n_hits, 0, empty_pmf
+            return n_hits, 0, 0, None
 
         sub = chords[event_rows] > 0.0
         ray_idx, fin_idx = np.nonzero(sub)
         chord_vals = chords[event_rows][ray_idx, fin_idx]
         strike_energies = per_ray_energy[event_rows][ray_idx]
-        n_strikes = len(fin_idx)
 
         pairs = self._pairs_for_strikes(
             particle, strike_energies, chord_vals, rng
         )
         charges = pairs * ELEMENTARY_CHARGE_C
+        strikes = (
+            ray_idx,
+            self._sens_cell[fin_idx],
+            self._sens_strike[fin_idx],
+            charges,
+        )
+        return n_hits, len(fin_idx), len(event_rows), strikes
 
-        # accumulate per (event, cell, strike-index)
-        n_events = len(event_rows)
-        cell_of = self._sens_cell[fin_idx]
-        strike_of = self._sens_strike[fin_idx]
+    def _process_batch(self, particle, energy_mev, vdd_v, rays: RayBatch, rng):
+        """Sparse strike kernel: group strikes by (event, cell) key.
+
+        Never allocates the dense ``(n_events, n_cells, 3)`` charge
+        tensor of :meth:`_process_batch_dense` -- strikes are folded
+        into per-(event, cell) charge triples via ``np.unique``, the
+        POF table is queried only on touched cells, and eqs. 4-6 plus
+        the multiplicity PMF are evaluated with segmented reductions
+        over the touched set.
+        """
+        n_hits, n_strikes, n_events, strikes = self._gather_strikes(
+            particle, energy_mev, rays, rng
+        )
+        if strikes is None:
+            return 0.0, 0.0, 0.0, n_hits, n_strikes, self._empty_pmf.copy()
+        ray_idx, cell_of, strike_of, charges = strikes
+
+        # one row per touched (event, cell) pair; np.unique sorts the
+        # keys, so rows come out event-major with cells ascending --
+        # the same per-event cell order the dense kernel reduces in.
+        key = ray_idx.astype(np.int64) * self.layout.n_cells + cell_of
+        unique_keys, inverse = np.unique(key, return_inverse=True)
+        cell_charges = np.zeros((len(unique_keys), 3), dtype=np.float64)
+        np.add.at(cell_charges, (inverse, strike_of), charges)
+
+        # POF lookup only for pairs that actually collected charge
+        touched = np.any(cell_charges > 0.0, axis=1)
+        if not np.any(touched):
+            return 0.0, 0.0, 0.0, n_hits, n_strikes, self._empty_pmf.copy()
+        pof = self.pof_table.query(vdd_v, cell_charges[touched])
+        event_of = unique_keys[touched] // self.layout.n_cells
+
+        # segmented eqs. 4-6 over each event's touched cells
+        starts = np.flatnonzero(
+            np.r_[True, event_of[1:] != event_of[:-1]]
+        )
+        total = 1.0 - np.multiply.reduceat(1.0 - pof, starts)
+        clipped = np.minimum(pof, _ONE_MINUS_EPS)
+        survive = 1.0 - clipped
+        seu = np.multiply.reduceat(survive, starts) * np.add.reduceat(
+            clipped / survive, starts
+        )
+        mbu = np.maximum(total - seu, 0.0)
+
+        pmf = self._sparse_multiplicity(pof, starts)
+        pmf[0] = 0.0  # the k=0 bin is dominated by misses; not tracked
+        return (
+            float(np.sum(total)),
+            float(np.sum(seu)),
+            float(np.sum(mbu)),
+            n_hits,
+            n_strikes,
+            pmf,
+        )
+
+    def _sparse_multiplicity(self, pof, starts) -> np.ndarray:
+        """Summed Poisson-binomial PMF over variable-size event groups.
+
+        The dynamic program of :func:`repro.ser.pof.multiplicity_pmf`
+        run rank-by-rank: step ``r`` folds the ``r``-th touched cell of
+        every event in at once, so the loop length is the largest
+        per-event cell count, not the cell total.
+        """
+        max_k = self.config.max_multiplicity
+        n_groups = len(starts)
+        sizes = np.diff(np.append(starts, len(pof)))
+        group_of = np.repeat(np.arange(n_groups), sizes)
+        rank = np.arange(len(pof)) - starts[group_of]
+
+        pmf = np.zeros((n_groups, max_k + 1), dtype=np.float64)
+        pmf[:, 0] = 1.0
+        for r in range(int(sizes.max())):
+            selected = rank == r
+            rows = group_of[selected]
+            p = pof[selected][:, np.newaxis]
+            block = pmf[rows]
+            shifted = np.zeros_like(block)
+            shifted[:, 1:] = block[:, :-1]
+            # the top bin absorbs overflow (k >= max_k stays in place)
+            shifted[:, -1] += block[:, -1]
+            pmf[rows] = block * (1.0 - p) + shifted * p
+        return pmf.sum(axis=0)
+
+    def _process_batch_dense(
+        self, particle, energy_mev, vdd_v, rays: RayBatch, rng
+    ):
+        """Reference kernel materializing the dense charge tensor.
+
+        Kept for regression tests and the ``benchmarks/perf`` harness;
+        allocates ``(n_events, n_cells, 3)`` per batch, which the
+        sparse :meth:`_process_batch` exists to avoid.
+        """
+        n_hits, n_strikes, n_events, strikes = self._gather_strikes(
+            particle, energy_mev, rays, rng
+        )
+        if strikes is None:
+            return 0.0, 0.0, 0.0, n_hits, n_strikes, self._empty_pmf.copy()
+        ray_idx, cell_of, strike_of, charges = strikes
+
         charge_tensor = np.zeros(
             (n_events, self.layout.n_cells, 3), dtype=np.float64
         )
         np.add.at(charge_tensor, (ray_idx, cell_of, strike_of), charges)
 
-        # POF lookup only for (event, cell) pairs with any charge
         cell_mask = np.any(charge_tensor > 0.0, axis=2)
         ev_i, cell_i = np.nonzero(cell_mask)
         pof_cells = np.zeros((n_events, self.layout.n_cells), dtype=np.float64)
@@ -417,7 +624,7 @@ class ArraySerSimulator:
         pmf = multiplicity_pmf(
             pof_cells, max_k=self.config.max_multiplicity
         ).sum(axis=0)
-        pmf[0] = 0.0  # the k=0 bin is dominated by misses; not tracked
+        pmf[0] = 0.0
         return (
             float(np.sum(total)),
             float(np.sum(seu)),

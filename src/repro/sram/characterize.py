@@ -19,6 +19,7 @@ import numpy as np
 from ..devices import VariationModel
 from ..errors import ConfigError
 from ..obs import get_logger, get_registry, kv, span
+from ..parallel import parallel_map
 from .cell import SramCellDesign
 from .fastcell import FastCell
 from .pof_lut import PofTable
@@ -118,15 +119,47 @@ def _enforce_monotone(grid: np.ndarray) -> np.ndarray:
     return np.clip(result, 0.0, 1.0)
 
 
+def _characterize_task(payload, task):
+    """Pool worker: the finished POF grid of one (combo, vdd) case.
+
+    The grid is a deterministic function of the precomputed variation
+    shifts (sampled once in the parent from ``config.seed``), so
+    results are identical for any worker count by construction.
+    """
+    combo, vdd = task
+    config = payload["config"]
+    combo_axis = config.axis_for_combo(combo)
+    grid = _pof_grid_for_combo(
+        payload["design"], vdd, combo, combo_axis, payload["shifts"], config
+    )
+    if config.enforce_monotone:
+        grid = _enforce_monotone(grid)
+    grid = _resample_to_axis(grid, combo_axis, payload["shared_axis"])
+
+    metrics = get_registry()
+    if metrics.enabled:
+        combo_points = len(combo_axis) ** len(combo)
+        metrics.counter("characterize.grid_points").inc(combo_points)
+        metrics.counter("characterize.cell_sims").inc(
+            combo_points * payload["shifts"].shape[0]
+        )
+    return grid
+
+
 def characterize_cell(
     design: SramCellDesign,
     config: Optional[CharacterizationConfig] = None,
+    n_jobs: int = 1,
 ) -> PofTable:
     """Build the full POF table for a cell design.
 
     Note the decimated multi-strike grids are re-interpolated onto the
     shared axis so the :class:`~repro.sram.pof_lut.PofTable` stores one
     consistent axis (simplifies queries and serialization).
+
+    ``n_jobs`` fans the independent (combo, vdd) grids out across
+    worker processes (1 = inline, 0 = one per CPU); the table is
+    bit-identical for any worker count.
     """
     config = config if config is not None else CharacterizationConfig()
     rng = np.random.default_rng(config.seed)
@@ -140,39 +173,40 @@ def characterize_cell(
     shared_axis = config.charge_axis_c()
     pof_grids = {}
 
-    metrics = get_registry()
     with span(
         "characterize-cell",
         vdds=len(config.vdd_list),
         combos=len(ALL_COMBOS),
         samples=n_samples,
     ):
-        for combo in ALL_COMBOS:
-            combo_axis = config.axis_for_combo(combo)
-            combo_points = len(combo_axis) ** len(combo)
-            per_vdd = []
-            for vdd in config.vdd_list:
-                grid = _pof_grid_for_combo(
-                    design, vdd, combo, combo_axis, shifts, config
-                )
-                if config.enforce_monotone:
-                    grid = _enforce_monotone(grid)
-                grid = _resample_to_axis(grid, combo_axis, shared_axis)
-                per_vdd.append(grid)
-                if metrics.enabled:
-                    metrics.counter("characterize.grid_points").inc(
-                        combo_points
-                    )
-                    metrics.counter("characterize.cell_sims").inc(
-                        combo_points * n_samples
-                    )
+        tasks = [
+            (combo, vdd)
+            for combo in ALL_COMBOS
+            for vdd in config.vdd_list
+        ]
+        grids = parallel_map(
+            _characterize_task,
+            tasks,
+            payload={
+                "design": design,
+                "config": config,
+                "shifts": shifts,
+                "shared_axis": shared_axis,
+            },
+            n_jobs=n_jobs,
+            label="characterize",
+        )
+        n_vdd = len(config.vdd_list)
+        for c, combo in enumerate(ALL_COMBOS):
+            per_vdd = grids[c * n_vdd : (c + 1) * n_vdd]
             pof_grids[combo] = np.stack(per_vdd, axis=0)
             _log.debug(
                 "characterized combo %s",
                 kv(
                     combo="+".join(str(i) for i in combo),
-                    vdds=len(config.vdd_list),
-                    grid_points=combo_points,
+                    vdds=n_vdd,
+                    grid_points=len(config.axis_for_combo(combo))
+                    ** len(combo),
                     samples=n_samples,
                 ),
             )

@@ -25,12 +25,39 @@ import numpy as np
 
 from ..errors import ConfigError, LookupError_
 from ..obs import get_logger, kv, span
+from ..parallel import parallel_map, spawn_seeds
 from ..physics import ParticleType, get_particle
 from .engine import TransportConfig, TransportEngine
 
 _log = get_logger(__name__)
 
 _DEFAULT_QUANTILES = 129
+
+#: RNG granularity of a LUT build: each energy point's trials are
+#: partitioned into shards of this fixed size, one spawned child stream
+#: per shard, so the tabulated statistics depend only on the seed and
+#: ``trials_per_energy`` -- never on the worker count.
+TRIALS_PER_SHARD = 100_000
+
+
+def _shard_sizes(trials: int) -> list:
+    full, rest = divmod(trials, TRIALS_PER_SHARD)
+    sizes = [TRIALS_PER_SHARD] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def _lut_shard_task(payload, task):
+    """Pool worker: one (energy point, trial shard) transport run."""
+    energy_idx, shard_trials, seed = task
+    result = payload["engine"].launch(
+        payload["particle"],
+        float(payload["energies"][energy_idx]),
+        shard_trials,
+        np.random.default_rng(seed),
+    )
+    return energy_idx, shard_trials, result.pairs_given_hit()
 
 
 @dataclass
@@ -87,8 +114,15 @@ class ElectronYieldLUT:
         rng: np.random.Generator,
         engine: Optional[TransportEngine] = None,
         n_quantiles: int = _DEFAULT_QUANTILES,
+        n_jobs: int = 1,
     ) -> "ElectronYieldLUT":
         """Run the device-level MC at each grid energy and tabulate.
+
+        The trials of every energy point are partitioned into fixed
+        :data:`TRIALS_PER_SHARD` shards, each with its own spawned
+        child stream, and the shard results are folded back in shard
+        order -- so for a fixed seed the table is bit-identical for any
+        ``n_jobs``.
 
         Parameters
         ----------
@@ -106,6 +140,9 @@ class ElectronYieldLUT:
             14 nm fin world).
         n_quantiles:
             Resolution of the stored inverse CDF.
+        n_jobs:
+            Worker processes sharing the trial shards (1 = inline,
+            0 = one per CPU).
         """
         if trials_per_energy < 100:
             raise ConfigError("need >= 100 trials per energy for a usable CDF")
@@ -119,29 +156,57 @@ class ElectronYieldLUT:
         quantile_grid = np.linspace(0.0, 1.0, n_quantiles)
         quantiles = np.zeros((len(energies), n_quantiles))
 
+        shard_sizes = _shard_sizes(int(trials_per_energy))
+        tasks = [
+            (i, size, None)
+            for i in range(len(energies))
+            for size in shard_sizes
+        ]
+        seeds = spawn_seeds(rng, len(tasks))
+        tasks = [
+            (i, size, seed) for (i, size, _), seed in zip(tasks, seeds)
+        ]
+
         with span(
             "yield-lut-build",
             particle=particle.name,
             energies=len(energies),
             trials_per_energy=int(trials_per_energy),
         ):
-            for i, energy in enumerate(energies):
-                result = engine.launch(
-                    particle, float(energy), trials_per_energy, rng
-                )
-                hit_fraction[i] = result.hit_fraction
-                conditional = result.pairs_given_hit()
+            shard_results = parallel_map(
+                _lut_shard_task,
+                tasks,
+                payload={
+                    "engine": engine,
+                    "particle": particle,
+                    "energies": energies,
+                },
+                n_jobs=n_jobs,
+                label="yield_lut",
+            )
+            for i in range(len(energies)):
+                # fold the energy point's shards back in shard order
+                parts = [
+                    conditional
+                    for idx, _, conditional in shard_results
+                    if idx == i
+                ]
+                conditional = np.concatenate(parts)
+                n_hits = len(conditional)
+                hit_fraction[i] = n_hits / trials_per_energy
                 _log.debug(
                     "yield LUT energy point %s",
                     kv(
                         particle=particle.name,
                         point=f"{i + 1}/{len(energies)}",
-                        energy_mev=float(energy),
-                        hit_fraction=result.hit_fraction,
-                        mean_pairs=result.mean_pairs_given_hit,
+                        energy_mev=float(energies[i]),
+                        hit_fraction=hit_fraction[i],
+                        mean_pairs=(
+                            float(np.mean(conditional)) if n_hits else 0.0
+                        ),
                     ),
                 )
-                if len(conditional) == 0:
+                if n_hits == 0:
                     # No geometric hits at this statistics level: record a
                     # degenerate (all-zero) distribution rather than
                     # failing.

@@ -77,11 +77,11 @@ class TestCrossPathConsistency:
         clone = SerFlow(tiny_flow.config)
         clone._pof_table = tiny_flow.pof_table()
         clone._yield_luts = tiny_flow.yield_luts()
-        clone._rng = np.random.default_rng(777)
+        # campaign streams are derived from the config seed, so
+        # repeated fits are bit-identical -- no rng pinning needed
         first = clone.fit("alpha", 0.7).fit_total
-        clone._rng = np.random.default_rng(777)
         second = clone.fit("alpha", 0.7).fit_total
-        assert first == pytest.approx(second)
+        assert first == second
 
     def test_larger_array_higher_fit(self, tiny_flow):
         """FIT scales with the sensitive area (eq. 7's Lx*Ly)."""

@@ -1,0 +1,370 @@
+"""Parallel execution engine: determinism, merging, sparse kernel."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.layout import SramArrayLayout
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import parallel_map, resolve_jobs, spawn_seeds
+from repro.physics import ALPHA, AlphaEmissionSpectrum, sample_rays
+from repro.sram import (
+    CharacterizationConfig,
+    PofTable,
+    SramCellDesign,
+    characterize_cell,
+)
+from repro.sram.strike import ALL_COMBOS
+from repro.ser import ArrayMcConfig, ArrayPofResult, ArraySerSimulator
+from repro.transport import ElectronYieldLUT
+
+
+# -- cheap synthetic fixtures (no SPICE characterization needed) ---------------
+
+
+@pytest.fixture(scope="module")
+def pof_table():
+    """Tiny hand-built POF table, monotone along every charge axis."""
+    vdds = (0.7, 0.9)
+    n_q = 5
+    base = np.linspace(0.0, 1.0, n_q)
+    pof = {}
+    for combo in ALL_COMBOS:
+        grids = []
+        for i_vdd in range(len(vdds)):
+            grid = base * (1.0 - 0.2 * i_vdd)
+            for _ in range(len(combo) - 1):
+                grid = np.add.outer(grid, base * (1.0 - 0.2 * i_vdd)) / 2.0
+            grids.append(grid)
+        pof[combo] = np.stack(grids, axis=0)
+    return PofTable(
+        vdd_list=vdds,
+        charge_axis_c=np.logspace(-16, -14, n_q),
+        pof=pof,
+        process_variation=False,
+        n_samples=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return SramArrayLayout(n_rows=4, n_cols=4)
+
+
+def make_simulator(layout, pof_table, **overrides):
+    config = ArrayMcConfig(deposition_mode="direct", **overrides)
+    return ArraySerSimulator(layout, pof_table, config=config)
+
+
+def run_campaign(layout, pof_table, *, seed=42, n=6000, **overrides):
+    simulator = make_simulator(layout, pof_table, **overrides)
+    rng = np.random.default_rng(seed)
+    return simulator.run(ALPHA, 5.0, 0.7, n, rng)
+
+
+def assert_results_identical(a, b):
+    assert a.pof_total == b.pof_total
+    assert a.pof_seu == b.pof_seu
+    assert a.pof_mbu == b.pof_mbu
+    assert a.n_particles == b.n_particles
+    assert a.n_array_hits == b.n_array_hits
+    assert a.n_fin_strikes == b.n_fin_strikes
+    assert np.array_equal(a.multiplicity_pmf, b.multiplicity_pmf)
+
+
+# -- engine primitives ---------------------------------------------------------
+
+
+class TestEngine:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+    def test_spawn_seeds_deterministic(self):
+        seeds_a = spawn_seeds(np.random.default_rng(3), 4)
+        seeds_b = spawn_seeds(np.random.default_rng(3), 4)
+        for a, b in zip(seeds_a, seeds_b):
+            assert np.array_equal(
+                np.random.default_rng(a).integers(0, 1 << 30, 8),
+                np.random.default_rng(b).integers(0, 1 << 30, 8),
+            )
+
+    def test_spawn_seeds_independent_streams(self):
+        seeds = spawn_seeds(np.random.default_rng(3), 2)
+        draws = [
+            np.random.default_rng(s).integers(0, 1 << 30, 8) for s in seeds
+        ]
+        assert not np.array_equal(draws[0], draws[1])
+
+    def test_parallel_map_preserves_order(self):
+        results = parallel_map(_square_task, list(range(20)), n_jobs=4)
+        assert results == [i * i for i in range(20)]
+
+    def test_parallel_map_serial_matches_pool(self):
+        tasks = list(range(7))
+        assert parallel_map(_square_task, tasks, n_jobs=1) == parallel_map(
+            _square_task, tasks, n_jobs=2
+        )
+
+    def test_payload_reaches_workers(self):
+        results = parallel_map(
+            _offset_task, [1, 2, 3], payload={"offset": 10}, n_jobs=2
+        )
+        assert results == [11, 12, 13]
+
+
+def _square_task(payload, task):
+    return task * task
+
+
+def _offset_task(payload, task):
+    return payload["offset"] + task
+
+
+# -- campaign invariance (the determinism contract) ----------------------------
+
+
+class TestCampaignInvariance:
+    def test_chunk_size_invariance(self, layout, pof_table):
+        small = run_campaign(layout, pof_table, chunk_size=100)
+        large = run_campaign(layout, pof_table, chunk_size=8192)
+        assert small.pof_total > 0
+        assert_results_identical(small, large)
+
+    def test_n_jobs_invariance(self, layout, pof_table):
+        serial = run_campaign(layout, pof_table, n_jobs=1)
+        two = run_campaign(layout, pof_table, n_jobs=2)
+        four = run_campaign(layout, pof_table, n_jobs=4)
+        assert serial.pof_total > 0
+        assert_results_identical(serial, two)
+        assert_results_identical(serial, four)
+
+    def test_jobs_and_chunks_together(self, layout, pof_table):
+        baseline = run_campaign(layout, pof_table, n_jobs=1, chunk_size=8192)
+        mixed = run_campaign(layout, pof_table, n_jobs=4, chunk_size=100)
+        assert_results_identical(baseline, mixed)
+
+    def test_spectrum_invariance(self, layout, pof_table):
+        spectrum = AlphaEmissionSpectrum()
+
+        def run(n_jobs, chunk_size):
+            simulator = make_simulator(
+                layout, pof_table, n_jobs=n_jobs, chunk_size=chunk_size
+            )
+            return simulator.run_spectrum(
+                ALPHA, spectrum, 0.7, 6000, np.random.default_rng(21)
+            )
+
+        baseline = run(1, 8192)
+        assert_results_identical(baseline, run(2, 100))
+
+
+# -- sparse kernel vs the dense reference --------------------------------------
+
+
+class TestSparseKernel:
+    def _kernel_pair(self, layout, pof_table, seed=17, n=5000):
+        simulator = make_simulator(layout, pof_table)
+        x_range, y_range, z, _ = layout.launch_window(
+            simulator.config.margin_nm
+        )
+        outputs = []
+        for kernel in (
+            simulator._process_batch,
+            simulator._process_batch_dense,
+        ):
+            rng = np.random.default_rng(seed)
+            rays = sample_rays(n, rng, x_range, y_range, z, "isotropic")
+            outputs.append(kernel(ALPHA, 5.0, 0.7, rays, rng))
+        return outputs
+
+    def test_sparse_matches_dense(self, layout, pof_table):
+        sparse, dense = self._kernel_pair(layout, pof_table)
+        assert sparse[3] == dense[3]  # hits
+        assert sparse[4] == dense[4]  # strikes
+        for i in range(3):  # POF sums
+            assert sparse[i] == pytest.approx(dense[i], rel=1e-12)
+        assert dense[0] > 0
+        np.testing.assert_allclose(sparse[5], dense[5], rtol=1e-12)
+
+    def test_sparse_never_builds_dense_tensor(
+        self, layout, pof_table, monkeypatch
+    ):
+        simulator = make_simulator(layout, pof_table)
+        x_range, y_range, z, _ = layout.launch_window(
+            simulator.config.margin_nm
+        )
+        rng = np.random.default_rng(17)
+        rays = sample_rays(5000, rng, x_range, y_range, z, "isotropic")
+
+        shapes = []
+        real_zeros = np.zeros
+
+        def recording_zeros(shape, *args, **kwargs):
+            shapes.append(np.shape(np.empty(shape, dtype=bool)))
+            return real_zeros(shape, *args, **kwargs)
+
+        monkeypatch.setattr(np, "zeros", recording_zeros)
+        result = simulator._process_batch(ALPHA, 5.0, 0.7, rays, rng)
+        assert result[3] > 0
+        n_cells = layout.n_cells
+        assert not any(
+            len(shape) == 3 and shape[1] == n_cells for shape in shapes
+        )
+
+
+# -- shard-result merging ------------------------------------------------------
+
+
+class TestResultMerge:
+    def _result(self, **overrides):
+        base = dict(
+            particle_name="alpha",
+            energy_mev=5.0,
+            vdd_v=0.7,
+            n_particles=1000,
+            n_array_hits=100,
+            n_fin_strikes=50,
+            pof_total=0.01,
+            pof_seu=0.009,
+            pof_mbu=0.001,
+            launch_area_cm2=1e-8,
+            multiplicity_pmf=np.array([0.0, 0.009, 0.001]),
+        )
+        base.update(overrides)
+        return ArrayPofResult(**base)
+
+    def test_weighted_merge(self):
+        merged = ArrayPofResult.merge(
+            [self._result(), self._result(n_particles=3000, pof_total=0.02)]
+        )
+        assert merged.n_particles == 4000
+        assert merged.n_array_hits == 200
+        assert merged.pof_total == pytest.approx(
+            (0.01 * 1000 + 0.02 * 3000) / 4000
+        )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ArrayPofResult.merge([])
+
+    def test_merge_rejects_mismatched_max_multiplicity(self):
+        with pytest.raises(ConfigError, match="max_multiplicity"):
+            ArrayPofResult.merge(
+                [
+                    self._result(),
+                    self._result(multiplicity_pmf=np.zeros(9)),
+                ]
+            )
+
+    def test_merge_rejects_mixed_campaign_points(self):
+        with pytest.raises(ConfigError):
+            ArrayPofResult.merge(
+                [self._result(), self._result(particle_name="proton")]
+            )
+        with pytest.raises(ConfigError):
+            ArrayPofResult.merge(
+                [self._result(), self._result(energy_mev=6.0)]
+            )
+        with pytest.raises(ConfigError):
+            ArrayPofResult.merge([self._result(), self._result(vdd_v=0.9)])
+
+    def test_merge_of_copies_is_identity(self, layout, pof_table):
+        result = run_campaign(layout, pof_table, n=4096)
+        merged = ArrayPofResult.merge([result])
+        assert_results_identical(result, merged)
+
+
+# -- the other two parallelized levels -----------------------------------------
+
+
+class TestLutBuildInvariance:
+    def test_n_jobs_invariance(self, monkeypatch):
+        import repro.transport.lut as lut_module
+
+        # small shards so a tiny build still exercises multi-shard merging
+        monkeypatch.setattr(lut_module, "TRIALS_PER_SHARD", 1000)
+        energies = np.logspace(-1, 1, 3)
+
+        def build(n_jobs):
+            return ElectronYieldLUT.build(
+                ALPHA, energies, 2500, np.random.default_rng(11), n_jobs=n_jobs
+            )
+
+        serial, pooled = build(1), build(2)
+        assert np.array_equal(serial.hit_fraction, pooled.hit_fraction)
+        assert np.array_equal(serial.mean_pairs, pooled.mean_pairs)
+        assert np.array_equal(serial.quantiles, pooled.quantiles)
+        assert serial.hit_fraction.max() > 0
+
+
+class TestCharacterizeInvariance:
+    def test_n_jobs_invariance(self):
+        config = CharacterizationConfig(
+            vdd_list=(0.7, 0.9),
+            n_charge_points=9,
+            n_samples=8,
+            max_pair_points=4,
+            max_triple_points=3,
+            seed=5,
+        )
+        design = SramCellDesign()
+        serial = characterize_cell(design, config, n_jobs=1)
+        pooled = characterize_cell(design, config, n_jobs=2)
+        for combo in ALL_COMBOS:
+            assert np.array_equal(serial.pof[combo], pooled.pof[combo])
+
+
+# -- worker metrics merging ----------------------------------------------------
+
+
+class TestMetricsMerge:
+    def test_merge_snapshot_folds_instruments(self):
+        worker = MetricsRegistry()
+        worker.counter("mc.trials").inc(500)
+        worker.gauge("mc.rate").set(2.5)
+        with worker.timer("mc.chunk").time():
+            pass
+        worker.histogram("mc.err", edges=(0.1, 1.0)).observe(0.5)
+
+        parent = MetricsRegistry()
+        parent.counter("mc.trials").inc(100)
+        parent.merge_snapshot(worker.snapshot())
+
+        assert parent.counter("mc.trials").value == 600
+        assert parent.gauge("mc.rate").value == 2.5
+        assert parent.timer("mc.chunk").count == 1
+        assert parent.histogram("mc.err", edges=(0.1, 1.0)).count == 1
+
+    def test_merge_snapshot_rejects_edge_mismatch(self):
+        worker = MetricsRegistry()
+        worker.histogram("h", edges=(0.1, 1.0)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("h", edges=(0.2, 2.0))
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(worker.snapshot())
+
+    def test_parallel_map_merges_worker_metrics(self):
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            parallel_map(_counting_task, [1, 2, 3, 4], n_jobs=2)
+            assert registry.counter("test.work_items").value == 4
+            assert registry.counter("parallel.tasks").value == 4
+            assert registry.gauge("parallel.workers").value == 2
+        finally:
+            disable_metrics()
+
+
+def _counting_task(payload, task):
+    from repro.obs import get_registry
+
+    get_registry().counter("test.work_items").inc()
+    return task
