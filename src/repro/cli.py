@@ -13,8 +13,16 @@ Subcommands mirror the flow stages:
 
 Every subcommand accepts ``--jobs N`` to fan the Monte Carlo stages
 out across N worker processes (``0`` = one per CPU; results are
-bit-identical for any value -- see ``docs/performance.md``), plus the
-observability flags (see ``docs/observability.md``):
+bit-identical for any value -- see ``docs/performance.md``), the
+fault-tolerance knobs (see ``docs/robustness.md``):
+
+* ``--retries N``     -- retry rounds for shards lost to worker
+  crashes (default 2).
+* ``--task-timeout S`` -- progress watchdog on the worker pool.
+* ``--resume/--no-resume`` -- checkpoint completed shards under the
+  cache dir and resume interrupted campaigns bit-identically.
+
+plus the observability flags (see ``docs/observability.md``):
 
 * ``--log-level {debug,info,warning,error}`` -- diagnostic logging to
   stderr (per-chunk MC progress lives at ``debug``).
@@ -87,6 +95,40 @@ def _add_jobs(parser):
         "(1 = serial, 0 = one per CPU; results are identical "
         "for any value)",
     )
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry rounds for shards lost to worker crashes "
+        "(default: 2; 0 fails on the first loss)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="progress watchdog: retry in-flight shards if no shard "
+        "completes for S seconds (default: off)",
+    )
+    group.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="checkpoint completed Monte Carlo shards under the cache "
+        "dir and resume interrupted campaigns bit-identically "
+        "(default: on; --no-resume disables checkpointing)",
+    )
+
+
+def _retry_policy(args):
+    from .parallel import RetryPolicy
+
+    return RetryPolicy(
+        retries=getattr(args, "retries", 2),
+        task_timeout_s=getattr(args, "task_timeout", None),
+    )
 
 
 def _add_common(parser):
@@ -148,7 +190,11 @@ def _make_flow(args, vdd_list=None):
         seed=args.seed,
     )
     return SerFlow(
-        config, cache_dir=args.cache_dir, n_jobs=getattr(args, "jobs", 1)
+        config,
+        cache_dir=args.cache_dir,
+        n_jobs=getattr(args, "jobs", 1),
+        retry=_retry_policy(args),
+        resume=getattr(args, "resume", True),
     )
 
 

@@ -28,13 +28,17 @@ from ..errors import ConfigError
 from ..io import ArtifactCache
 from ..layout import CellLayout, SramArrayLayout
 from ..obs import get_logger, get_registry, kv, span
-from ..parallel import parallel_map
+from ..parallel import RetryPolicy, ShardJournal, parallel_map
 from ..physics import get_particle, spectrum_for
 from ..sram import (
     CharacterizationConfig,
     PofTable,
     SramCellDesign,
     characterize_cell,
+)
+from ..sram.characterize import (
+    characterize_shard_decode,
+    characterize_shard_encode,
 )
 from ..ser import (
     ArrayMcConfig,
@@ -45,6 +49,7 @@ from ..ser import (
     integrate_fit,
 )
 from ..transport import ElectronYieldLUT, TransportEngine
+from ..transport.lut import lut_shard_decode, lut_shard_encode
 
 _log = get_logger(__name__)
 
@@ -148,7 +153,13 @@ class SerFlow:
     stage (1 = inline, 0 = one per CPU).  It deliberately lives on the
     flow object, not on :class:`FlowConfig`: results are bit-identical
     for any worker count, so the execution width must not perturb the
-    cache keys derived from the config.
+    cache keys derived from the config.  The same reasoning puts the
+    fault-tolerance knobs here: ``retry`` (a
+    :class:`~repro.parallel.RetryPolicy`, or ``None`` for historical
+    fail-fast behavior) governs transient worker loss in every stage,
+    and ``resume`` (on by default, needs a ``cache_dir``) checkpoints
+    every campaign into a :class:`~repro.parallel.ShardJournal` so an
+    interrupted run resumes bit-identically.
     """
 
     def __init__(
@@ -157,15 +168,36 @@ class SerFlow:
         design: Optional[SramCellDesign] = None,
         cache_dir: Optional[str] = None,
         n_jobs: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        resume: bool = True,
     ):
         self.config = config if config is not None else FlowConfig()
         self.design = design if design is not None else SramCellDesign()
         self.cache = ArtifactCache(cache_dir) if cache_dir else None
         self.n_jobs = n_jobs
+        self.retry = retry
+        self.resume = resume
         self._yield_luts: Optional[Dict[str, ElectronYieldLUT]] = None
         self._pof_table: Optional[PofTable] = None
         self._layout: Optional[SramArrayLayout] = None
         self._simulator: Optional[ArraySerSimulator] = None
+
+    def _journal_for(self, name: str, encode, decode, *config_objects):
+        """A shard journal under the cache dir, or ``None``.
+
+        Journals need a durable home (the artifact cache directory) and
+        are pointless when resume is off, so either condition disables
+        checkpointing -- the campaigns still run, just without partial
+        credit across process restarts.
+        """
+        if self.cache is None or not self.resume:
+            return None
+        return ShardJournal(
+            self.cache.journal_path(name, *config_objects),
+            self.cache.journal_key(*config_objects),
+            encode=encode,
+            decode=decode,
+        )
 
     def _campaign_seed(self, *key_parts) -> np.random.SeedSequence:
         """Deterministic child seed for one named campaign.
@@ -224,7 +256,23 @@ class SerFlow:
                 np.log10(e_lo), np.log10(e_hi), self.config.yield_energy_points
             )
 
-            def build(particle=particle, energies=energies):
+            cache_key = {
+                "trials": self.config.yield_trials_per_energy,
+                "points": self.config.yield_energy_points,
+                "range": (e_lo, e_hi),
+                "fin": self.design.tech.fin,
+                "seed": self.config.seed,
+            }
+            journal = self._journal_for(
+                f"yield-{name}",
+                lut_shard_encode,
+                lut_shard_decode,
+                cache_key,
+            )
+
+            def build(
+                particle=particle, energies=energies, journal=journal
+            ):
                 return ElectronYieldLUT.build(
                     particle,
                     energies,
@@ -232,19 +280,13 @@ class SerFlow:
                     self._campaign_rng("yield-lut", particle.name),
                     engine=engine,
                     n_jobs=self.n_jobs,
+                    retry=self.retry,
+                    journal=journal,
                 )
 
             if self.cache is not None:
                 luts[name] = self.cache.get_or_build(
-                    f"yield-{name}",
-                    build,
-                    {
-                        "trials": self.config.yield_trials_per_energy,
-                        "points": self.config.yield_energy_points,
-                        "range": (e_lo, e_hi),
-                        "fin": self.design.tech.fin,
-                        "seed": self.config.seed,
-                    },
+                    f"yield-{name}", build, cache_key
                 )
             else:
                 luts[name] = build()
@@ -256,10 +298,21 @@ class SerFlow:
         """Cell POF LUTs (built once, cached)."""
         if self._pof_table is None:
             char_config = self.config.effective_characterization()
+            journal = self._journal_for(
+                "pof",
+                characterize_shard_encode,
+                characterize_shard_decode,
+                char_config,
+                self.design.tech,
+            )
 
             def build():
                 return characterize_cell(
-                    self.design, char_config, n_jobs=self.n_jobs
+                    self.design,
+                    char_config,
+                    n_jobs=self.n_jobs,
+                    retry=self.retry,
+                    journal=journal,
                 )
 
             with span(
@@ -344,6 +397,13 @@ class SerFlow:
         campaigns ran earlier in the process.  The campaigns are spread
         across workers here; inside a worker the simulator's own
         (inner) parallelism stands down automatically.
+
+        Fault tolerance operates at this level on whole campaigns:
+        completed (energy-point) campaigns are journaled so a crashed
+        scan resumes bit-identically, and the retry policy is forced
+        strict -- downstream :func:`~repro.ser.fit.integrate_fit`
+        needs one result per bin, so unrecoverable loss must raise
+        rather than degrade to a hole in the spectrum.
         """
         tasks = [
             (
@@ -354,7 +414,21 @@ class SerFlow:
             )
             for energy in energies
         ]
-        return parallel_map(
+        journal = self._journal_for(
+            f"{stage}-{particle.name}",
+            lambda result: result.to_dict(),
+            ArrayPofResult.from_dict,
+            self.config,
+            self.design.tech,
+            {
+                "stage": stage,
+                "particle": particle.name,
+                "vdd": f"{vdd_v:g}",
+                "energies": [f"{energy:.9g}" for energy in energies],
+                "n_particles": int(n_particles),
+            },
+        )
+        results = parallel_map(
             _flow_campaign_task,
             tasks,
             payload={
@@ -365,7 +439,12 @@ class SerFlow:
             },
             n_jobs=self.n_jobs,
             label="flow_campaigns",
+            retry=self.retry.strict() if self.retry is not None else None,
+            journal=journal,
         )
+        if journal is not None:
+            journal.clear()
+        return results
 
     def fit(self, particle_name: str, vdd_v: float) -> FitResult:
         """FIT rate of one (particle, vdd) case (eqs. 7-8)."""

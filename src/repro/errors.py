@@ -47,3 +47,22 @@ class LookupError_(ReproError):
 
 class SerializationError(ReproError):
     """Failed to persist or restore a LUT/result artifact."""
+
+
+class TaskError(ReproError):
+    """A parallel shard task raised a deterministic exception.
+
+    Retrying such a task in a fresh worker would only reproduce the
+    same failure (shards are pure functions of their seed), so the
+    engine fails fast and attaches the shard id and task description.
+    The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message, shard=None, label=None):
+        super().__init__(message)
+        self.shard = shard
+        self.label = label
+
+
+class WorkerCrashError(ReproError):
+    """Worker processes kept dying past the configured retry budget."""

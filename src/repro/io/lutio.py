@@ -153,12 +153,31 @@ class ArtifactCache:
         key = config_hash(*config_objects)
         return self.directory / f"{name}-{key}.json"
 
+    def journal_path(self, name: str, *config_objects) -> Path:
+        """Shard-journal checkpoint path for a named campaign.
+
+        Lives next to the artifact it checkpoints, keyed by the same
+        sha256 configuration hash -- so a journal can only ever resume
+        the campaign whose configuration wrote it (the
+        :class:`~repro.parallel.ShardJournal` additionally embeds the
+        key in every record).
+        """
+        key = config_hash(*config_objects)
+        return self.directory / f"journal-{name}-{key}.jsonl"
+
+    def journal_key(self, *config_objects) -> str:
+        """The sha256 campaign key matching :meth:`journal_path`."""
+        return config_hash(*config_objects)
+
     def get_or_build(self, name: str, builder, *config_objects):
         """Load the cached artifact or build + store it.
 
         ``builder`` is a zero-argument callable producing the artifact.
-        Cache traffic is counted in the metrics registry
-        (``lut_cache.hits`` / ``misses`` / ``writes`` / ``invalid``).
+        Artifacts flagged ``degraded`` (partial statistics after worker
+        loss) are returned but **not** cached, so the next run rebuilds
+        at full statistics.  Cache traffic is counted in the metrics
+        registry (``lut_cache.hits`` / ``misses`` / ``writes`` /
+        ``invalid``).
         """
         metrics = get_registry()
         path = self.path_for(name, *config_objects)
@@ -179,6 +198,12 @@ class ArtifactCache:
         metrics.counter("lut_cache.misses").inc()
         _log.debug("cache miss %s", kv(name=name, path=path))
         artifact = builder()
+        if getattr(artifact, "degraded", False):
+            metrics.counter("lut_cache.degraded_skips").inc()
+            _log.warning(
+                "not caching degraded artifact %s", kv(name=name, path=path)
+            )
+            return artifact
         save_artifact(artifact, path)
         metrics.counter("lut_cache.writes").inc()
         _log.debug("cache write %s", kv(name=name, path=path))

@@ -53,6 +53,7 @@ class RunManifest:
     mc: dict = field(default_factory=dict)
     lut_cache: dict = field(default_factory=dict)
     convergence: dict = field(default_factory=dict)
+    fault_tolerance: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -72,6 +73,7 @@ class RunManifest:
             "mc": self.mc,
             "lut_cache": self.lut_cache,
             "convergence": self.convergence,
+            "fault_tolerance": self.fault_tolerance,
             "metrics": self.metrics,
         }
 
@@ -114,6 +116,7 @@ class RunManifest:
             mc=dict(payload.get("mc", {})),
             lut_cache=dict(payload.get("lut_cache", {})),
             convergence=dict(payload.get("convergence", {})),
+            fault_tolerance=dict(payload.get("fault_tolerance", {})),
             metrics=dict(payload.get("metrics", {})),
         )
 
@@ -195,6 +198,15 @@ def build_manifest(
         for name, value in gauges.items()
         if name.startswith(_CONVERGENCE_PREFIX)
     }
+    fault_tolerance = {
+        "retried_shards": counters.get("parallel.retries", 0),
+        "lost_shards": counters.get("parallel.degraded", 0),
+        "degraded_maps": counters.get("parallel.degraded_maps", 0),
+        "degraded": counters.get("parallel.degraded", 0) > 0,
+        "journal_records": counters.get("journal.records", 0),
+        "journal_resumed": counters.get("journal.resumed", 0),
+        "journal_invalid": counters.get("journal.invalid", 0),
+    }
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -208,5 +220,6 @@ def build_manifest(
         mc=mc,
         lut_cache=lut_cache,
         convergence=convergence,
+        fault_tolerance=fault_tolerance,
         metrics=snapshot,
     )

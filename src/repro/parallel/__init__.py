@@ -2,13 +2,24 @@
 
 See :mod:`repro.parallel.engine` for the determinism contract (fixed
 sharding + spawned child streams + ordered merges = bit-identical
-results for any worker count).
+results for any worker count) and the fault-tolerance layer
+(:class:`RetryPolicy` retry/backoff/watchdog, :class:`ShardJournal`
+crash-safe checkpoints, graceful degradation to partial statistics).
 """
 
-from .engine import ParallelConfig, parallel_map, resolve_jobs, spawn_seeds
+from .engine import (
+    ParallelConfig,
+    RetryPolicy,
+    parallel_map,
+    resolve_jobs,
+    spawn_seeds,
+)
+from .journal import ShardJournal
 
 __all__ = [
     "ParallelConfig",
+    "RetryPolicy",
+    "ShardJournal",
     "parallel_map",
     "resolve_jobs",
     "spawn_seeds",

@@ -7,12 +7,15 @@ module is the one place that knows how to fan such work out across
 worker processes and fold the partial results back:
 
 * :func:`parallel_map` -- ordered map of a *module-level* worker
-  function over a task list, through a ``multiprocessing`` pool.  A
-  shared read-only payload (simulator, engine, design...) is shipped to
-  each worker once via the pool initializer instead of once per task.
+  function over a task list, through a process pool.  A shared
+  read-only payload (simulator, engine, design...) is shipped to each
+  worker once via the pool initializer instead of once per task.
 * :func:`spawn_seeds` -- deterministic child ``SeedSequence`` streams
   off a caller's generator, the backbone of the engine's reproducibility
   contract.
+* :class:`RetryPolicy` -- the fault-tolerance knobs: per-shard retry
+  with exponential backoff for transient worker death, a progress
+  watchdog timeout, and graceful degradation to partial results.
 
 Determinism contract
 --------------------
@@ -21,7 +24,32 @@ worker count), draw one spawned child stream per shard, and merge the
 shard results **in shard order**.  ``parallel_map`` preserves input
 order and ``n_jobs=1`` bypasses the pool entirely while running the
 exact same sharded code path, so for a fixed seed the merged result is
-bit-identical for any worker count.
+bit-identical for any worker count.  Fault tolerance preserves the
+contract: a retried shard reruns the *same* seed stream in a fresh
+worker, and a shard replayed from a :class:`~repro.parallel.journal.
+ShardJournal` checkpoint is byte-for-byte the result the crashed run
+recorded -- so interrupted-and-resumed campaigns merge bit-identically
+to uninterrupted ones.
+
+Failure taxonomy
+----------------
+* **Transient** -- the worker process died (segfault, OOM kill,
+  ``BrokenProcessPool``) or the watchdog declared the pool stuck
+  (no shard completed for ``task_timeout_s``).  The failed shards are
+  retried in fresh workers with exponential backoff, up to
+  ``RetryPolicy.retries`` rounds.
+* **Deterministic** -- the task function itself raised.  Retrying
+  would reproduce the failure, so the map fails fast: on the pooled
+  path with a :class:`~repro.errors.TaskError` carrying the shard id
+  and the task (which embeds the shard's seed path; the original
+  exception, which crossed a process boundary, is chained as
+  ``__cause__``), and on the inline path by propagating the original
+  exception unchanged (traceback intact, type still catchable).
+* **Unrecoverable** -- transient failures outlasted the retry budget.
+  With ``allow_partial=True`` the map returns the shards it has
+  (``None`` for the lost ones, counted in ``parallel.degraded``) so
+  callers can merge partial statistics flagged as degraded; otherwise
+  it raises :class:`~repro.errors.WorkerCrashError`.
 
 Worker-side metrics recorded through :mod:`repro.obs` are snapshotted
 per task, returned with the result, and merged into the parent
@@ -31,15 +59,23 @@ parallelism.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+)
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, TaskError, WorkerCrashError
 from ..obs import get_logger, get_registry, kv
 from ..obs.registry import enable_metrics
 
@@ -47,10 +83,19 @@ _log = get_logger(__name__)
 
 __all__ = [
     "ParallelConfig",
+    "RetryPolicy",
     "parallel_map",
     "resolve_jobs",
     "spawn_seeds",
 ]
+
+#: Test-only fault-injection hook: set to ``"<label>:<index>:<marker>"``
+#: to make the worker executing shard ``<index>`` of the map labelled
+#: ``<label>`` die abruptly (``os._exit``) -- once: the marker file is
+#: created before dying, and an existing marker disarms the hook.  Used
+#: by the fault-injection tests and the CI fault-smoke job; never set
+#: it in production.
+FAULT_ENV = "REPRO_PARALLEL_KILL"
 
 
 @dataclass(frozen=True)
@@ -76,6 +121,72 @@ class ParallelConfig:
 
     def resolved_jobs(self) -> int:
         return resolve_jobs(self.n_jobs)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Fault-tolerance knobs of :func:`parallel_map`.
+
+    Attributes
+    ----------
+    retries:
+        How many retry rounds transiently-failed shards get before the
+        map gives up on them.  ``0`` fails on the first worker loss.
+    backoff_s / backoff_multiplier / backoff_max_s:
+        Exponential backoff between retry rounds: round ``k`` sleeps
+        ``min(backoff_s * multiplier**(k-1), backoff_max_s)`` seconds.
+    task_timeout_s:
+        Progress watchdog: if **no** shard completes for this many
+        seconds the in-flight shards are declared lost, their workers
+        are terminated, and the shards are retried in a fresh pool.
+        ``None`` disables the watchdog.  Only enforced on the pooled
+        path -- inline execution cannot be preempted.
+    allow_partial:
+        What to do when transient failures outlast the retry budget:
+        ``True`` (graceful degradation) returns partial results with
+        ``None`` for the lost shards; ``False`` raises
+        :class:`~repro.errors.WorkerCrashError`.
+    """
+
+    retries: int = 2
+    backoff_s: float = 0.25
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 8.0
+    task_timeout_s: Optional[float] = None
+    allow_partial: bool = True
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ConfigError("retries cannot be negative")
+        if self.backoff_s < 0 or self.backoff_max_s < 0:
+            raise ConfigError("backoff durations cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff multiplier must be >= 1")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ConfigError("task timeout must be positive (None = off)")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry round ``attempt`` (1-based)."""
+        return min(
+            self.backoff_s * self.backoff_multiplier ** max(attempt - 1, 0),
+            self.backoff_max_s,
+        )
+
+    def strict(self) -> "RetryPolicy":
+        """This policy with graceful degradation turned off.
+
+        Stages whose merge *requires* every shard (e.g. cell
+        characterization grids) use this to turn unrecoverable loss
+        into a loud :class:`~repro.errors.WorkerCrashError`.
+        """
+        if not self.allow_partial:
+            return self
+        return dataclasses.replace(self, allow_partial=False)
+
+
+#: Fail-fast default used when no policy is given: no retries, no
+#: degradation -- the exact pre-fault-tolerance behavior.
+_NO_RETRY = RetryPolicy(retries=0, allow_partial=False)
 
 
 def resolve_jobs(n_jobs: Optional[int]) -> int:
@@ -113,6 +224,10 @@ def spawn_seeds(rng: np.random.Generator, n: int) -> List[np.random.SeedSequence
 #: initializer (under ``fork`` it is inherited, never pickled per task).
 _WORKER_PAYLOAD: Any = None
 
+#: Sentinel marking a shard that has neither a journaled nor a fresh
+#: result yet (``None`` is a legal shard result, so it cannot serve).
+_PENDING = object()
+
 
 def _worker_init(payload, with_metrics: bool):
     global _WORKER_PAYLOAD
@@ -123,9 +238,29 @@ def _worker_init(payload, with_metrics: bool):
         enable_metrics(fresh=True)
 
 
-def _invoke(item):
-    """Run one (fn, task) pair; return (result, metrics snapshot, busy s)."""
-    fn, task = item
+def _maybe_inject_fault(label: str, index: int):
+    """Honor the :data:`FAULT_ENV` test hook (abrupt one-shot death)."""
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    try:
+        want_label, want_index, marker = spec.split(":", 2)
+    except ValueError:
+        return
+    if label != want_label or index != int(want_index):
+        return
+    if os.path.exists(marker):
+        return
+    with open(marker, "w") as handle:
+        handle.write("killed\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os._exit(17)
+
+
+def _invoke(fn, task, index: int, label: str):
+    """Run one task in a worker; return (result, metrics snapshot, busy s)."""
+    _maybe_inject_fault(label, index)
     t0 = time.perf_counter()
     result = fn(_WORKER_PAYLOAD, task)
     busy_s = time.perf_counter() - t0
@@ -142,6 +277,19 @@ def _in_worker() -> bool:
     return multiprocessing.current_process().daemon
 
 
+def _shutdown_executor(executor: ProcessPoolExecutor):
+    """Tear a pool down without waiting; terminate stuck workers."""
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover -- python < 3.9
+        executor.shutdown(wait=False)
+    processes = getattr(executor, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            if process.is_alive():
+                process.terminate()
+
+
 def parallel_map(
     fn: Callable[[Any, Any], Any],
     tasks: Sequence[Any],
@@ -150,68 +298,284 @@ def parallel_map(
     n_jobs: int = 1,
     label: str = "map",
     start_method: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+    journal=None,
 ) -> list:
     """Ordered map of ``fn(payload, task)`` over ``tasks``.
 
     ``fn`` must be a module-level function (pickled by reference).  With
-    ``n_jobs <= 1``, a single task, or when already inside a pool
-    worker, the map runs inline -- no pool, no pickling -- executing the
-    identical code path, so results never depend on the worker count.
+    ``n_jobs <= 1``, a single pending task, or when already inside a
+    pool worker, the map runs inline -- no pool, no pickling --
+    executing the identical code path, so results never depend on the
+    worker count.
+
+    Parameters
+    ----------
+    retry:
+        Fault-tolerance policy (see :class:`RetryPolicy`).  ``None``
+        keeps the historical fail-fast behavior: any worker loss or
+        task exception aborts the map.
+    journal:
+        Optional :class:`~repro.parallel.journal.ShardJournal`.  Shards
+        already present in the journal are replayed from disk and
+        skipped (counted in ``journal.resumed``); every freshly
+        completed shard is durably recorded before the map returns, so
+        a crashed campaign resumes with partial credit.
+
+    Returns the results in task order.  Shards lost past the retry
+    budget under ``allow_partial=True`` come back as ``None`` -- filter
+    them and flag the merged statistics as degraded.
 
     Records ``parallel.*`` metrics when the registry is live: worker
-    count, task count, per-label map wall time, queue overhead,
-    snapshot-merge time and the effective speedup (total worker busy
-    time / wall time).
+    count, task count, per-label map wall time, retry/degraded counts,
+    and the effective speedup (total worker busy time / wall time).
     """
     tasks = list(tasks)
-    jobs = min(resolve_jobs(n_jobs), len(tasks))
+    policy = retry if retry is not None else _NO_RETRY
     metrics = get_registry()
+    results: list = [_PENDING] * len(tasks)
 
-    if jobs <= 1 or len(tasks) <= 1 or _in_worker():
+    if journal is not None:
+        replayed = journal.load()
+        for index, value in replayed.items():
+            if 0 <= index < len(tasks):
+                results[index] = value
+        resumed = sum(1 for r in results if r is not _PENDING)
+        if resumed:
+            if metrics.enabled:
+                metrics.counter("journal.resumed").inc(resumed)
+            _log.info(
+                "journal resume %s",
+                kv(label=label, resumed=resumed, total=len(tasks)),
+            )
+
+    pending = [i for i in range(len(tasks)) if results[i] is _PENDING]
+    if not pending:
+        return results
+
+    jobs = min(resolve_jobs(n_jobs), len(pending))
+    t0 = time.perf_counter()
+    busy_s = 0.0
+
+    if jobs <= 1 or len(pending) <= 1 or _in_worker():
         if metrics.enabled:
             metrics.counter("parallel.serial_maps").inc()
-            with metrics.time(f"parallel.map.{label}"):
-                return [fn(payload, task) for task in tasks]
-        return [fn(payload, task) for task in tasks]
+        with metrics.time(f"parallel.map.{label}"):
+            _run_inline(fn, tasks, pending, payload, label, journal, results)
+        lost: List[int] = []
+    else:
+        with metrics.time(f"parallel.map.{label}"):
+            busy_s, lost = _run_pooled(
+                fn,
+                tasks,
+                pending,
+                payload,
+                jobs,
+                label,
+                start_method,
+                policy,
+                journal,
+                results,
+                metrics,
+            )
+        wall_s = time.perf_counter() - t0
+        if metrics.enabled:
+            metrics.counter("parallel.maps").inc()
+            metrics.counter("parallel.tasks").inc(len(tasks))
+            metrics.gauge("parallel.workers").set(jobs)
+            if wall_s > 0:
+                metrics.gauge(f"parallel.speedup.{label}").set(busy_s / wall_s)
+        _log.debug(
+            "parallel map %s",
+            kv(
+                label=label,
+                tasks=len(tasks),
+                workers=jobs,
+                wall_s=round(wall_s, 4),
+                busy_s=round(busy_s, 4),
+                speedup=round(busy_s / wall_s, 2) if wall_s > 0 else 0.0,
+            ),
+        )
 
-    t0 = time.perf_counter()
+    if lost:
+        if metrics.enabled:
+            metrics.counter("parallel.degraded").inc(len(lost))
+            metrics.counter("parallel.degraded_maps").inc()
+        if not policy.allow_partial:
+            raise WorkerCrashError(
+                f"{len(lost)} shard(s) of {label!r} lost to worker crashes "
+                f"after {policy.retries} retry round(s) "
+                f"(shards {lost[:8]}{'...' if len(lost) > 8 else ''})"
+            )
+        _log.warning(
+            "degraded map %s",
+            kv(label=label, lost=len(lost), tasks=len(tasks)),
+        )
+        for index in lost:
+            results[index] = None
+    return results
+
+
+def _run_inline(fn, tasks, pending, payload, label, journal, results):
+    """Serial execution of the pending shards (identical code path).
+
+    Inline execution has no transient failure mode -- a worker death
+    here *is* a process death (the journal preserves partial credit
+    for the next run) -- and task exceptions propagate unchanged: the
+    traceback is intact and the exception type stays catchable, so
+    wrapping in :class:`~repro.errors.TaskError` (needed on the pooled
+    path, where the exception crossed a process boundary) would only
+    obscure it.
+    """
+    for index in pending:
+        _maybe_inject_fault(label, index)
+        result = fn(payload, tasks[index])
+        results[index] = result
+        if journal is not None:
+            journal.record(index, result)
+
+
+def _run_pooled(
+    fn,
+    tasks,
+    pending,
+    payload,
+    jobs,
+    label,
+    start_method,
+    policy,
+    journal,
+    results,
+    metrics,
+):
+    """Pool execution with retry rounds; returns (busy_s, lost shards)."""
     context = multiprocessing.get_context(start_method)
-    with context.Pool(
-        processes=jobs,
+    remaining = list(pending)
+    busy_total = 0.0
+    attempt = 0
+    while remaining:
+        transient, fatal, busy_s = _run_round(
+            fn,
+            tasks,
+            remaining,
+            payload,
+            min(jobs, len(remaining)),
+            label,
+            context,
+            policy,
+            journal,
+            results,
+            metrics,
+        )
+        busy_total += busy_s
+        if fatal is not None:
+            index, exc = fatal
+            raise TaskError(
+                f"shard {index} of {label!r} failed deterministically: "
+                f"{exc} (task={tasks[index]!r})",
+                shard=index,
+                label=label,
+            ) from exc
+        remaining = sorted(transient)
+        if not remaining:
+            break
+        attempt += 1
+        if attempt > policy.retries:
+            return busy_total, remaining
+        if metrics.enabled:
+            metrics.counter("parallel.retries").inc(len(remaining))
+        delay = policy.backoff_for(attempt)
+        _log.warning(
+            "retrying lost shards %s",
+            kv(
+                label=label,
+                shards=len(remaining),
+                attempt=f"{attempt}/{policy.retries}",
+                backoff_s=round(delay, 3),
+            ),
+        )
+        if delay > 0:
+            time.sleep(delay)
+    return busy_total, []
+
+
+def _run_round(
+    fn,
+    tasks,
+    indices,
+    payload,
+    jobs,
+    label,
+    context,
+    policy,
+    journal,
+    results,
+    metrics,
+):
+    """One pool round over ``indices``.
+
+    Returns ``(transient, fatal, busy_s)``: the shard indices lost to
+    worker death or the watchdog, the first deterministic task failure
+    (or ``None``), and the summed worker busy time of the shards that
+    did complete -- which are stored into ``results`` and journaled
+    immediately, so even a round that ends badly keeps its credit.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=context,
         initializer=_worker_init,
         initargs=(payload, metrics.enabled),
-    ) as pool:
-        packed = pool.map(_invoke, [(fn, task) for task in tasks], chunksize=1)
-    wall_s = time.perf_counter() - t0
-
-    results = [result for result, _, _ in packed]
-    busy_s = sum(busy for _, _, busy in packed)
-    if metrics.enabled:
-        merge_t0 = time.perf_counter()
-        for _, snapshot, _ in packed:
-            if snapshot is not None:
-                metrics.merge_snapshot(snapshot)
-        merge_s = time.perf_counter() - merge_t0
-        metrics.counter("parallel.maps").inc()
-        metrics.counter("parallel.tasks").inc(len(tasks))
-        metrics.gauge("parallel.workers").set(jobs)
-        metrics.timer(f"parallel.map.{label}").observe(wall_s)
-        metrics.timer(f"parallel.merge.{label}").observe(merge_s)
-        # pool overhead beyond perfectly-packed worker busy time
-        metrics.timer(f"parallel.queue.{label}").observe(
-            max(wall_s - busy_s / jobs, 0.0)
-        )
-        if wall_s > 0:
-            metrics.gauge(f"parallel.speedup.{label}").set(busy_s / wall_s)
-    _log.debug(
-        "parallel map %s",
-        kv(
-            label=label,
-            tasks=len(tasks),
-            workers=jobs,
-            wall_s=round(wall_s, 4),
-            busy_s=round(busy_s, 4),
-            speedup=round(busy_s / wall_s, 2) if wall_s > 0 else 0.0,
-        ),
     )
-    return results
+    transient: List[int] = []
+    fatal = None
+    busy_total = 0.0
+    try:
+        waiting = {
+            executor.submit(_invoke, fn, tasks[i], i, label): i
+            for i in indices
+        }
+        while waiting:
+            done, _ = _futures_wait(
+                list(waiting),
+                timeout=policy.task_timeout_s,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # watchdog: nothing completed within the window --
+                # declare the in-flight shards lost and kill the pool.
+                transient.extend(waiting.values())
+                _log.warning(
+                    "watchdog expired %s",
+                    kv(
+                        label=label,
+                        stuck=len(waiting),
+                        timeout_s=policy.task_timeout_s,
+                    ),
+                )
+                return transient, None, busy_total
+            broken = False
+            for future in done:
+                index = waiting.pop(future)
+                try:
+                    result, snapshot, busy_s = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    transient.append(index)
+                    broken = True
+                except Exception as exc:
+                    fatal = (index, exc)
+                    return transient, fatal, busy_total
+                else:
+                    results[index] = result
+                    busy_total += busy_s
+                    if snapshot is not None:
+                        metrics.merge_snapshot(snapshot)
+                    if journal is not None:
+                        journal.record(index, result)
+            if broken:
+                # the pool is unusable: every shard still waiting will
+                # fail the same way -- mark them lost in one sweep.
+                transient.extend(waiting.values())
+                waiting.clear()
+        return transient, None, busy_total
+    finally:
+        _shutdown_executor(executor)

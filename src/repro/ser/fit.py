@@ -13,6 +13,7 @@ POFs are duly paid for with the larger area.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -42,6 +43,11 @@ class FitResult:
         ordered (total, seu, mbu).
     fit_total / fit_seu / fit_mbu:
         Failure rates in FIT (failures per 1e9 device hours).
+    degraded:
+        True when any folded MC campaign lost shards to worker
+        crashes: the rates are unbiased but rest on fewer particles,
+        so their standard errors are wider than requested.  Degraded
+        results are never written to the artifact cache.
     """
 
     particle_name: str
@@ -51,11 +57,20 @@ class FitResult:
     fit_total: float
     fit_seu: float
     fit_mbu: float
+    degraded: bool = False
 
     @property
     def mbu_to_seu_ratio(self) -> float:
-        """The paper's Fig. 10 metric (0 when no SEU rate)."""
-        return self.fit_mbu / self.fit_seu if self.fit_seu > 0 else 0.0
+        """The paper's Fig. 10 metric.
+
+        Degenerate denominators keep their mathematical meaning: an
+        MBU rate with **no** SEU rate is ``inf`` (MBU-dominated, not
+        "no MBUs"), and 0/0 is ``nan`` (no events at all, ratio
+        undefined).
+        """
+        if self.fit_seu > 0:
+            return self.fit_mbu / self.fit_seu
+        return math.inf if self.fit_mbu > 0 else math.nan
 
 
 def fit_from_spectrum_run(
@@ -85,6 +100,7 @@ def fit_from_spectrum_run(
         fit_total=per_second_to_fit(result.pof_total * flux * area),
         fit_seu=per_second_to_fit(result.pof_seu * flux * area),
         fit_mbu=per_second_to_fit(result.pof_mbu * flux * area),
+        degraded=result.degraded,
     )
 
 
@@ -103,10 +119,18 @@ def integrate_fit(
         raise ConfigError(
             f"need one MC result per bin ({len(bins)}), got {len(results)}"
         )
-    areas = {round(r.launch_area_cm2, 18) for r in results}
-    if len(areas) != 1:
-        raise ConfigError("all MC results must share one launch area")
+    # relative-tolerance comparison: absolute rounding (the previous
+    # ``round(area, 18)`` set) both rejected ulp-different areas from
+    # independently built results and passed tiny real mismatches
     area_cm2 = results[0].launch_area_cm2
+    for r in results[1:]:
+        if not math.isclose(
+            r.launch_area_cm2, area_cm2, rel_tol=1e-9, abs_tol=0.0
+        ):
+            raise ConfigError(
+                "all MC results must share one launch area "
+                f"(got {r.launch_area_cm2!r} vs {area_cm2!r})"
+            )
 
     pof = np.array(
         [[r.pof_total, r.pof_seu, r.pof_mbu] for r in results]
@@ -136,4 +160,5 @@ def integrate_fit(
         fit_total=per_second_to_fit(float(rates_per_s[0])),
         fit_seu=per_second_to_fit(float(rates_per_s[1])),
         fit_mbu=per_second_to_fit(float(rates_per_s[2])),
+        degraded=any(r.degraded for r in results),
     )

@@ -28,6 +28,7 @@ bit-identical for any ``n_jobs`` and any ``chunk_size``.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass
@@ -36,7 +37,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..constants import ELEMENTARY_CHARGE_C
-from ..errors import ConfigError
+from ..errors import ConfigError, WorkerCrashError
 from ..geometry import RayBatch, chord_lengths
 from ..layout import SramArrayLayout
 from ..obs import get_logger, get_registry, kv
@@ -123,6 +124,12 @@ class ArrayPofResult:
     #: ``multiplicity_pmf[k]`` is the probability that exactly ``k``
     #: cells fail (k = 1..max; index 0 unused -- misses dominate it).
     multiplicity_pmf: Optional[np.ndarray] = None
+    #: True when the campaign lost draw blocks to worker crashes past
+    #: the retry budget: the POFs are unbiased means over the blocks
+    #: that survived, but ``n_particles`` is smaller than requested, so
+    #: convergence standard errors (which scale as ``1/sqrt(n)``) are
+    #: correspondingly wider.
+    degraded: bool = False
 
     @property
     def hit_fraction(self) -> float:
@@ -150,8 +157,15 @@ class ArrayPofResult:
 
     @property
     def mbu_to_seu_ratio(self) -> float:
-        """MBU/SEU ratio (paper Fig. 10); 0 when no SEUs were seen."""
-        return self.pof_mbu / self.pof_seu if self.pof_seu > 0 else 0.0
+        """MBU/SEU ratio (paper Fig. 10).
+
+        ``inf`` for an MBU-only campaign (MBU rate with no SEU rate is
+        MBU-dominated, not "no MBUs"), ``nan`` when neither event type
+        was seen (0/0, ratio undefined).
+        """
+        if self.pof_seu > 0:
+            return self.pof_mbu / self.pof_seu
+        return math.inf if self.pof_mbu > 0 else math.nan
 
     def mean_cluster_size(self) -> float:
         """Expected failed-cell count conditional on an upset."""
@@ -239,6 +253,53 @@ class ArrayPofResult:
             pof_mbu=weighted("pof_mbu"),
             launch_area_cm2=first.launch_area_cm2,
             multiplicity_pmf=pmf,
+            degraded=any(shard.degraded for shard in shards),
+        )
+
+    # -- serialization (shard-journal checkpoints) ------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (exact: floats round-trip)."""
+        pmf = self.multiplicity_pmf
+        return {
+            "kind": "array_pof_result",
+            "particle_name": self.particle_name,
+            "energy_mev": float(self.energy_mev),
+            "vdd_v": float(self.vdd_v),
+            "n_particles": int(self.n_particles),
+            "n_array_hits": int(self.n_array_hits),
+            "n_fin_strikes": int(self.n_fin_strikes),
+            "pof_total": float(self.pof_total),
+            "pof_seu": float(self.pof_seu),
+            "pof_mbu": float(self.pof_mbu),
+            "launch_area_cm2": float(self.launch_area_cm2),
+            "multiplicity_pmf": (
+                None if pmf is None else np.asarray(pmf).tolist()
+            ),
+            "degraded": bool(self.degraded),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ArrayPofResult":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("kind") != "array_pof_result":
+            raise ConfigError("payload is not an array POF result")
+        pmf = payload.get("multiplicity_pmf")
+        return cls(
+            particle_name=payload["particle_name"],
+            energy_mev=float(payload["energy_mev"]),
+            vdd_v=float(payload["vdd_v"]),
+            n_particles=int(payload["n_particles"]),
+            n_array_hits=int(payload["n_array_hits"]),
+            n_fin_strikes=int(payload["n_fin_strikes"]),
+            pof_total=float(payload["pof_total"]),
+            pof_seu=float(payload["pof_seu"]),
+            pof_mbu=float(payload["pof_mbu"]),
+            launch_area_cm2=float(payload["launch_area_cm2"]),
+            multiplicity_pmf=(
+                None if pmf is None else np.asarray(pmf, dtype=np.float64)
+            ),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 
@@ -262,6 +323,16 @@ def _array_task(payload, task):
     """Pool worker: run the task's draw blocks, in order."""
     simulator = payload["simulator"]
     return [simulator._run_block(payload, size, seed) for size, seed in task]
+
+
+def array_shard_encode(result) -> list:
+    """JSON-safe encoding of one pool task's draw-block results."""
+    return [block.to_dict() for block in result]
+
+
+def array_shard_decode(payload: list) -> list:
+    """Inverse of :func:`array_shard_encode` (exact round-trip)."""
+    return [ArrayPofResult.from_dict(entry) for entry in payload]
 
 
 class ArraySerSimulator:
@@ -303,8 +374,19 @@ class ArraySerSimulator:
         vdd_v: float,
         n_particles: int,
         rng: np.random.Generator,
+        retry=None,
+        journal=None,
     ) -> ArrayPofResult:
-        """Monte Carlo POF of one (particle, energy, vdd) point."""
+        """Monte Carlo POF of one (particle, energy, vdd) point.
+
+        ``retry`` / ``journal`` are the fault-tolerance knobs of
+        :func:`repro.parallel.parallel_map`: a
+        :class:`~repro.parallel.RetryPolicy` for transient worker loss
+        and an optional :class:`~repro.parallel.ShardJournal`
+        checkpoint (construct it with :func:`array_shard_encode` /
+        :func:`array_shard_decode`) so an interrupted campaign resumes
+        bit-identically.
+        """
         if energy_mev <= 0:
             raise ConfigError("energy must be positive")
         return self._run_campaign(
@@ -315,6 +397,8 @@ class ArraySerSimulator:
             rng,
             spectrum=None,
             e_range=None,
+            retry=retry,
+            journal=journal,
         )
 
     def run_spectrum(
@@ -326,6 +410,8 @@ class ArraySerSimulator:
         rng: np.random.Generator,
         e_min_mev: Optional[float] = None,
         e_max_mev: Optional[float] = None,
+        retry=None,
+        journal=None,
     ) -> ArrayPofResult:
         """Continuous-spectrum campaign: each track gets its own energy.
 
@@ -346,6 +432,8 @@ class ArraySerSimulator:
             rng,
             spectrum=spectrum,
             e_range=(float(e_min), float(e_max)),
+            retry=retry,
+            journal=journal,
         )
 
     # -- campaign execution ----------------------------------------------------
@@ -359,6 +447,8 @@ class ArraySerSimulator:
         rng,
         spectrum,
         e_range,
+        retry=None,
+        journal=None,
     ) -> ArrayPofResult:
         if n_particles < 1:
             raise ConfigError("need at least one particle")
@@ -387,12 +477,38 @@ class ArraySerSimulator:
                 payload=payload,
                 n_jobs=self.config.n_jobs,
                 label="array_mc",
+                retry=retry,
+                journal=journal,
             )
+            lost = sum(1 for group in nested if group is None)
             with metrics.time("array_mc.merge"):
                 block_results = [
-                    result for group in nested for result in group
+                    result
+                    for group in nested
+                    if group is not None
+                    for result in group
                 ]
+                if not block_results:
+                    raise WorkerCrashError(
+                        "array MC campaign lost every draw block to "
+                        "worker crashes; nothing to merge"
+                    )
                 merged = ArrayPofResult.merge(block_results)
+            if lost:
+                merged = dataclasses.replace(merged, degraded=True)
+                _log.warning(
+                    "array MC campaign degraded %s",
+                    kv(
+                        particle=particle.name,
+                        energy_mev=float(energy_mev),
+                        vdd=float(vdd_v),
+                        lost_tasks=lost,
+                        total_tasks=len(tasks),
+                        particles=f"{merged.n_particles}/{n_particles}",
+                    ),
+                )
+            elif journal is not None:
+                journal.clear()
         elapsed = time.perf_counter() - t0
 
         if metrics.enabled:

@@ -25,6 +25,16 @@ class SerSweep:
         """Insert one integration result."""
         self.results[(result.particle_name, result.vdd_v)] = result
 
+    @property
+    def degraded(self) -> bool:
+        """True when any folded result rests on degraded statistics.
+
+        Degraded sweeps are returned but never cached (see
+        :meth:`repro.io.ArtifactCache.get_or_build`), so a later run
+        rebuilds them at full statistics.
+        """
+        return any(result.degraded for result in self.results.values())
+
     def get(self, particle_name: str, vdd_v: float) -> FitResult:
         """Fetch one result (raises if absent)."""
         try:
@@ -74,6 +84,7 @@ class SerSweep:
                     "pof_per_bin": result.pof_per_bin.tolist(),
                     "bin_edges_mev": result.bins.edges_mev.tolist(),
                     "bin_flux": result.bins.integral_flux_per_cm2_s.tolist(),
+                    "degraded": bool(result.degraded),
                 }
             )
         return {"kind": "ser_sweep", "results": payload}
@@ -102,6 +113,7 @@ class SerSweep:
                     fit_total=float(entry["fit_total"]),
                     fit_seu=float(entry["fit_seu"]),
                     fit_mbu=float(entry["fit_mbu"]),
+                    degraded=bool(entry.get("degraded", False)),
                 )
             )
         return sweep

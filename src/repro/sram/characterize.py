@@ -146,10 +146,27 @@ def _characterize_task(payload, task):
     return grid
 
 
+def characterize_shard_encode(grid) -> list:
+    """JSON-safe encoding of one (combo, vdd) POF grid for the journal.
+
+    ``ndarray.tolist`` preserves the nesting of every grid rank, so
+    the inverse is a plain ``np.asarray`` -- and JSON floats round-trip
+    exactly, keeping resumed tables bit-identical.
+    """
+    return np.asarray(grid, dtype=np.float64).tolist()
+
+
+def characterize_shard_decode(payload: list) -> np.ndarray:
+    """Inverse of :func:`characterize_shard_encode`."""
+    return np.asarray(payload, dtype=np.float64)
+
+
 def characterize_cell(
     design: SramCellDesign,
     config: Optional[CharacterizationConfig] = None,
     n_jobs: int = 1,
+    retry=None,
+    journal=None,
 ) -> PofTable:
     """Build the full POF table for a cell design.
 
@@ -160,6 +177,15 @@ def characterize_cell(
     ``n_jobs`` fans the independent (combo, vdd) grids out across
     worker processes (1 = inline, 0 = one per CPU); the table is
     bit-identical for any worker count.
+
+    A :class:`~repro.parallel.RetryPolicy` in ``retry`` governs
+    transient worker loss; graceful degradation is **not** available
+    here (every (combo, vdd) grid is required to assemble the table),
+    so the policy is forced strict and unrecoverable loss raises
+    :class:`~repro.errors.WorkerCrashError` -- the attached ``journal``
+    (built with :func:`characterize_shard_encode` /
+    :func:`characterize_shard_decode`) preserves the finished grids for
+    the next attempt.
     """
     config = config if config is not None else CharacterizationConfig()
     rng = np.random.default_rng(config.seed)
@@ -195,7 +221,13 @@ def characterize_cell(
             },
             n_jobs=n_jobs,
             label="characterize",
+            retry=retry.strict() if retry is not None else None,
+            journal=journal,
         )
+        if journal is not None:
+            # every grid is present (strict policy) -- the checkpoint
+            # has served its purpose
+            journal.clear()
         n_vdd = len(config.vdd_list)
         for c, combo in enumerate(ALL_COMBOS):
             per_vdd = grids[c * n_vdd : (c + 1) * n_vdd]

@@ -146,7 +146,23 @@ class QcritCdfModel:
     # -- summaries -----------------------------------------------------------
 
     def qcrit_statistics(self, vdd_v: float) -> Tuple[float, float]:
-        """``(median, std)`` of the I1 critical charge at a grid Vdd."""
+        """``(median, std)`` of the I1 critical charge at a Vdd.
+
+        Off-grid voltages interpolate the statistics of the two
+        bracketing grid points linearly, consistent with :meth:`query`
+        (the previous nearest-neighbor snap made the two APIs disagree
+        between grid points).
+        """
         lo, hi, t = self._bracket(vdd_v)
-        samples = self.qcrit_samples[lo if t < 0.5 else hi]
-        return float(np.median(samples)), float(np.std(samples))
+        samples_lo = self.qcrit_samples[lo]
+        median = float(np.median(samples_lo))
+        std = float(np.std(samples_lo))
+        if hi == lo:
+            return median, std
+        samples_hi = self.qcrit_samples[hi]
+        median_hi = float(np.median(samples_hi))
+        std_hi = float(np.std(samples_hi))
+        return (
+            (1.0 - t) * median + t * median_hi,
+            (1.0 - t) * std + t * std_hi,
+        )

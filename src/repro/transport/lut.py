@@ -60,6 +60,25 @@ def _lut_shard_task(payload, task):
     return energy_idx, shard_trials, result.pairs_given_hit()
 
 
+def lut_shard_encode(result) -> dict:
+    """JSON-safe encoding of a LUT build shard for the shard journal."""
+    energy_idx, shard_trials, conditional = result
+    return {
+        "i": int(energy_idx),
+        "n": int(shard_trials),
+        "pairs": np.asarray(conditional, dtype=np.float64).tolist(),
+    }
+
+
+def lut_shard_decode(payload: dict):
+    """Inverse of :func:`lut_shard_encode` (exact: JSON floats round-trip)."""
+    return (
+        int(payload["i"]),
+        int(payload["n"]),
+        np.asarray(payload["pairs"], dtype=np.float64),
+    )
+
+
 @dataclass
 class ElectronYieldLUT:
     """Energy -> electron-hole pair yield distribution for one species.
@@ -79,6 +98,11 @@ class ElectronYieldLUT:
         ``quantiles[i, j]`` is the ``j/(n_q-1)`` quantile at energy i.
     trials_per_energy:
         MC statistics used during the build (bookkeeping).
+    degraded:
+        True when the build lost trial shards to worker crashes past
+        the retry budget: the tabulated statistics are unbiased but
+        rest on fewer trials than requested.  Degraded tables are not
+        cached (see :meth:`repro.io.ArtifactCache.get_or_build`).
     """
 
     particle_name: str
@@ -87,6 +111,7 @@ class ElectronYieldLUT:
     mean_pairs: np.ndarray
     quantiles: np.ndarray
     trials_per_energy: int = 0
+    degraded: bool = False
 
     def __post_init__(self):
         self.energies_mev = np.asarray(self.energies_mev, dtype=np.float64)
@@ -115,6 +140,8 @@ class ElectronYieldLUT:
         engine: Optional[TransportEngine] = None,
         n_quantiles: int = _DEFAULT_QUANTILES,
         n_jobs: int = 1,
+        retry=None,
+        journal=None,
     ) -> "ElectronYieldLUT":
         """Run the device-level MC at each grid energy and tabulate.
 
@@ -122,7 +149,10 @@ class ElectronYieldLUT:
         :data:`TRIALS_PER_SHARD` shards, each with its own spawned
         child stream, and the shard results are folded back in shard
         order -- so for a fixed seed the table is bit-identical for any
-        ``n_jobs``.
+        ``n_jobs``.  With a ``journal`` attached, completed shards are
+        checkpointed and a crashed build resumes bit-identically
+        (construct it with :func:`lut_shard_encode` /
+        :func:`lut_shard_decode`).
 
         Parameters
         ----------
@@ -143,6 +173,14 @@ class ElectronYieldLUT:
         n_jobs:
             Worker processes sharing the trial shards (1 = inline,
             0 = one per CPU).
+        retry:
+            Optional :class:`~repro.parallel.RetryPolicy`.  With
+            ``allow_partial=True``, shards lost past the retry budget
+            degrade the table (``degraded=True``, statistics folded
+            over the surviving trials) instead of aborting the build.
+        journal:
+            Optional :class:`~repro.parallel.ShardJournal` checkpoint;
+            cleared automatically once the build completes undegraded.
         """
         if trials_per_energy < 100:
             raise ConfigError("need >= 100 trials per energy for a usable CDF")
@@ -183,17 +221,32 @@ class ElectronYieldLUT:
                 },
                 n_jobs=n_jobs,
                 label="yield_lut",
+                retry=retry,
+                journal=journal,
             )
+            lost = sum(1 for shard in shard_results if shard is None)
             for i in range(len(energies)):
-                # fold the energy point's shards back in shard order
-                parts = [
-                    conditional
-                    for idx, _, conditional in shard_results
-                    if idx == i
-                ]
-                conditional = np.concatenate(parts)
+                # fold the energy point's shards back in shard order,
+                # normalizing over the trials that actually completed
+                # (== trials_per_energy for an undegraded build, so the
+                # bit-identical contract is untouched)
+                parts = []
+                effective_trials = 0
+                for shard in shard_results:
+                    if shard is None:
+                        continue
+                    idx, shard_trials, conditional = shard
+                    if idx != i:
+                        continue
+                    parts.append(conditional)
+                    effective_trials += shard_trials
+                conditional = (
+                    np.concatenate(parts) if parts else np.empty(0)
+                )
                 n_hits = len(conditional)
-                hit_fraction[i] = n_hits / trials_per_energy
+                hit_fraction[i] = (
+                    n_hits / effective_trials if effective_trials else 0.0
+                )
                 _log.debug(
                     "yield LUT energy point %s",
                     kv(
@@ -209,10 +262,25 @@ class ElectronYieldLUT:
                 if n_hits == 0:
                     # No geometric hits at this statistics level: record a
                     # degenerate (all-zero) distribution rather than
-                    # failing.
+                    # failing.  Queries skip such rows -- see
+                    # _collapse_empty_rows.
                     continue
                 mean_pairs[i] = float(np.mean(conditional))
                 quantiles[i] = np.quantile(conditional, quantile_grid)
+
+        if lost:
+            _log.warning(
+                "yield LUT degraded %s",
+                kv(
+                    particle=particle.name,
+                    lost_shards=lost,
+                    total_shards=len(tasks),
+                ),
+            )
+        elif journal is not None:
+            # the statistics are complete and merged -- the checkpoint
+            # has served its purpose
+            journal.clear()
 
         return cls(
             particle_name=particle.name,
@@ -221,6 +289,7 @@ class ElectronYieldLUT:
             mean_pairs=mean_pairs,
             quantiles=quantiles,
             trials_per_energy=int(trials_per_energy),
+            degraded=lost > 0,
         )
 
     # -- queries ---------------------------------------------------------
@@ -255,16 +324,62 @@ class ElectronYieldLUT:
             (1.0 - w) * self.hit_fraction[lo] + w * self.hit_fraction[hi]
         )
 
+    def _populated_rows(self) -> np.ndarray:
+        """Mask of energy rows whose quantile table saw real hits.
+
+        A zero-hit energy point stores an all-zero placeholder row
+        (see :meth:`build`); blending it into an interpolation would
+        silently bias sampled pair counts toward zero.
+        """
+        return self.hit_fraction > 0.0
+
+    def _collapse_bracket(self, lo: int, hi: int, w: float):
+        """Remap an interpolation bracket away from empty quantile rows.
+
+        Prefers the populated bracket endpoint; if both endpoints are
+        empty, snaps to the nearest populated row.  Returns the bracket
+        unchanged when both endpoints are populated (the common case).
+        """
+        populated = self._populated_rows()
+        if populated[lo] and populated[hi]:
+            return lo, hi, w
+        candidates = np.flatnonzero(populated)
+        if len(candidates) == 0:
+            raise LookupError_(
+                f"LUT for {self.particle_name!r} has no populated energy "
+                "rows to sample from"
+            )
+        if populated[lo]:
+            snap = int(lo)
+        elif populated[hi]:
+            snap = int(hi)
+        else:
+            position = lo + w * (hi - lo)
+            snap = int(candidates[np.argmin(np.abs(candidates - position))])
+        _log.warning(
+            "empty LUT row skipped in sampling %s",
+            kv(
+                particle=self.particle_name,
+                bracket=f"[{lo},{hi}]",
+                fallback_row=snap,
+                energy_mev=float(self.energies_mev[snap]),
+            ),
+        )
+        return snap, snap, 0.0
+
     def sample_pairs(
         self, energy_mev: float, n: int, rng: np.random.Generator
     ) -> np.ndarray:
         """Sample ``n`` conditional pair counts at an energy.
 
         Inverse-CDF sampling on the stored quantile table, with the two
-        bracketing energy rows blended in log-energy.
+        bracketing energy rows blended in log-energy.  Empty (zero-hit)
+        rows never enter the blend: the query falls back to the nearest
+        populated row, with a warning through the ``repro`` logger.
         """
         self._check_energy(energy_mev)
         lo, hi, w = self._interp_weights(energy_mev)
+        lo, hi, w = self._collapse_bracket(lo, hi, w)
         row = (1.0 - w) * self.quantiles[lo] + w * self.quantiles[hi]
         u = rng.uniform(0.0, 1.0, size=n)
         positions = u * (len(row) - 1)
@@ -281,7 +396,10 @@ class ElectronYieldLUT:
         Vectorized counterpart of :meth:`sample_pairs` for
         mixed-energy batches (continuous-spectrum array MC): the two
         bracketing quantile rows of each query are blended in
-        log-energy, then inverse-CDF sampled.
+        log-energy, then inverse-CDF sampled.  As in
+        :meth:`sample_pairs`, queries bracketed by empty (zero-hit)
+        rows snap to the nearest populated row instead of blending
+        toward zero.
         """
         energies = np.atleast_1d(np.asarray(energies_mev, dtype=np.float64))
         if np.any(energies <= 0):
@@ -293,6 +411,41 @@ class ElectronYieldLUT:
         weight = (np.log(clipped) - np.log(grid[lo])) / (
             np.log(grid[hi]) - np.log(grid[lo])
         )
+        populated = self._populated_rows()
+        bad = ~(populated[lo] & populated[hi])
+        if np.any(bad):
+            candidates = np.flatnonzero(populated)
+            if len(candidates) == 0:
+                raise LookupError_(
+                    f"LUT for {self.particle_name!r} has no populated "
+                    "energy rows to sample from"
+                )
+            # prefer the populated bracket endpoint; when both ends are
+            # empty, snap to the nearest populated row
+            snap = np.where(populated[lo], lo, hi)
+            both_empty = bad & ~populated[lo] & ~populated[hi]
+            if np.any(both_empty):
+                position = lo[both_empty] + weight[both_empty]
+                snap[both_empty] = candidates[
+                    np.argmin(
+                        np.abs(
+                            candidates[np.newaxis, :]
+                            - position[:, np.newaxis]
+                        ),
+                        axis=1,
+                    )
+                ]
+            lo = np.where(bad, snap, lo)
+            hi = np.where(bad, snap, hi)
+            weight = np.where(bad, 0.0, weight)
+            _log.warning(
+                "empty LUT rows skipped in sampling %s",
+                kv(
+                    particle=self.particle_name,
+                    queries=int(np.count_nonzero(bad)),
+                    total=len(energies),
+                ),
+            )
         rows = (
             (1.0 - weight)[:, np.newaxis] * self.quantiles[lo]
             + weight[:, np.newaxis] * self.quantiles[hi]
@@ -330,6 +483,7 @@ class ElectronYieldLUT:
             "mean_pairs": self.mean_pairs.tolist(),
             "quantiles": self.quantiles.tolist(),
             "trials_per_energy": self.trials_per_energy,
+            "degraded": bool(self.degraded),
         }
 
     @classmethod
@@ -344,6 +498,7 @@ class ElectronYieldLUT:
             mean_pairs=np.array(payload["mean_pairs"]),
             quantiles=np.array(payload["quantiles"]),
             trials_per_energy=int(payload.get("trials_per_energy", 0)),
+            degraded=bool(payload.get("degraded", False)),
         )
 
 

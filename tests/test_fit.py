@@ -1,5 +1,7 @@
 """FIT-rate integration (paper eqs. 7-8)."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -60,10 +62,18 @@ class TestIntegrateFit:
         fit = integrate_fit("alpha", 0.8, bins, [make_result(0.5, 0.4, 0.1)])
         assert fit.mbu_to_seu_ratio == pytest.approx(0.25)
 
-    def test_zero_seu_ratio_is_zero(self):
+    def test_no_events_ratio_is_nan(self):
+        # 0/0: no events of either kind -- the ratio is undefined, not 0
         bins = make_bins([1e-6])
         fit = integrate_fit("alpha", 0.8, bins, [make_result(0.0, 0.0, 0.0)])
-        assert fit.mbu_to_seu_ratio == 0.0
+        assert math.isnan(fit.mbu_to_seu_ratio)
+
+    def test_mbu_only_ratio_is_inf(self):
+        # MBU rate with no SEU rate must not read as "no MBUs"
+        bins = make_bins([1e-6])
+        fit = integrate_fit("alpha", 0.8, bins, [make_result(0.1, 0.0, 0.1)])
+        assert fit.fit_mbu > 0
+        assert fit.mbu_to_seu_ratio == math.inf
 
     def test_bin_count_mismatch_rejected(self):
         with pytest.raises(ConfigError):
@@ -76,6 +86,32 @@ class TestIntegrateFit:
         results = [
             make_result(0.1, 0.1, 0.0, area=1e-7),
             make_result(0.1, 0.1, 0.0, area=2e-7),
+        ]
+        with pytest.raises(ConfigError):
+            integrate_fit("alpha", 0.8, bins, results)
+
+    def test_ulp_different_areas_accepted(self):
+        # independently built results can disagree in the last ulp; a
+        # relative-tolerance check must accept them (the old
+        # round(area, 18) set membership did not)
+        area = 1.234e-7
+        area_ulp = np.nextafter(area, 1.0)
+        assert area != area_ulp
+        bins = make_bins([1e-6, 1e-6])
+        results = [
+            make_result(0.1, 0.1, 0.0, area=area),
+            make_result(0.1, 0.1, 0.0, area=area_ulp),
+        ]
+        fit = integrate_fit("alpha", 0.8, bins, results)
+        assert fit.fit_total > 0
+
+    def test_tiny_real_area_mismatch_rejected(self):
+        # a genuine 1-ppm mismatch on a small area is far beyond ulp
+        # noise and must still be rejected
+        bins = make_bins([1e-6, 1e-6])
+        results = [
+            make_result(0.1, 0.1, 0.0, area=1e-10),
+            make_result(0.1, 0.1, 0.0, area=1e-10 * (1 + 1e-6)),
         ]
         with pytest.raises(ConfigError):
             integrate_fit("alpha", 0.8, bins, results)
@@ -93,7 +129,15 @@ class TestArrayPofResult:
             "alpha", 1.0, 0.8, 1000, 0, 0, 0.0, 0.0, 0.0, 1e-7
         )
         assert result.pof_total_given_hit == 0.0
-        assert result.mbu_to_seu_ratio == 0.0
+        assert math.isnan(result.mbu_to_seu_ratio)
+
+    def test_mbu_only_ratio_is_inf(self):
+        result = make_result(0.01, 0.0, 0.01)
+        assert result.mbu_to_seu_ratio == math.inf
+
+    def test_ratio_regular_branch(self):
+        result = make_result(0.05, 0.04, 0.01)
+        assert result.mbu_to_seu_ratio == pytest.approx(0.25)
 
 
 class TestSerSweep:

@@ -58,6 +58,38 @@ class TestStructure:
         with pytest.raises(ConfigError):
             QcritCdfModel.characterize(design, ())
 
+    def test_statistics_interpolate_between_grid_points(self, cdf_model):
+        """Off-grid Vdd interpolates like ``query`` (no nearest snap).
+
+        The old behavior snapped to the nearest grid point, so the
+        statistics jumped discontinuously at the bracket midpoint while
+        ``query`` interpolated smoothly.
+        """
+        med_lo, std_lo = cdf_model.qcrit_statistics(0.7)
+        med_hi, std_hi = cdf_model.qcrit_statistics(0.9)
+        t = 0.25  # 0.75 V sits a quarter of the way up the bracket
+        med_mid, std_mid = cdf_model.qcrit_statistics(0.75)
+        assert med_mid == pytest.approx((1 - t) * med_lo + t * med_hi)
+        assert std_mid == pytest.approx((1 - t) * std_lo + t * std_hi)
+        # strictly between the endpoints, not snapped to either
+        assert min(med_lo, med_hi) < med_mid < max(med_lo, med_hi)
+
+    def test_statistics_on_grid_unchanged(self, cdf_model):
+        """Exactly on a grid point the statistics are that point's."""
+        med, std = cdf_model.qcrit_statistics(0.7)
+        samples = cdf_model.qcrit_samples[0.7]
+        assert med == pytest.approx(float(np.median(samples)))
+        assert std == pytest.approx(float(np.std(samples)))
+
+    def test_statistics_clamp_outside_grid(self, cdf_model):
+        """Beyond the grid edges the nearest edge's statistics hold."""
+        assert cdf_model.qcrit_statistics(0.5) == cdf_model.qcrit_statistics(
+            0.7
+        )
+        assert cdf_model.qcrit_statistics(1.2) == cdf_model.qcrit_statistics(
+            0.9
+        )
+
 
 class TestQueries:
     def test_zero_charge_zero_pof(self, cdf_model):

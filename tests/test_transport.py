@@ -154,6 +154,119 @@ class TestElectronYieldLUT:
             default_energy_grid("neutron")
 
 
+class TestEmptyRowFallback:
+    """Zero-hit energy rows must not bias sampled pair counts low."""
+
+    @pytest.fixture(scope="class")
+    def gappy_lut(self):
+        # row 1 saw zero hits: all-zero quantile placeholder
+        quantiles = np.array(
+            [
+                np.linspace(0.0, 100.0, 9),
+                np.zeros(9),
+                np.linspace(0.0, 200.0, 9),
+            ]
+        )
+        return ElectronYieldLUT(
+            particle_name="alpha",
+            energies_mev=np.array([1.0, 10.0, 100.0]),
+            hit_fraction=np.array([0.5, 0.0, 0.5]),
+            mean_pairs=np.array([50.0, 0.0, 100.0]),
+            quantiles=quantiles,
+            trials_per_energy=1000,
+        )
+
+    def test_sample_pairs_skips_empty_row(self, gappy_lut, caplog, monkeypatch):
+        # between rows 0 and 1 the old code blended toward the zero
+        # placeholder; the fallback must sample the populated row 0
+        import logging
+
+        # CLI tests may have run configure_logging (propagate=False);
+        # restore propagation so caplog sees the records
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        rng = np.random.default_rng(3)
+        with caplog.at_level("WARNING", logger="repro"):
+            samples = gappy_lut.sample_pairs(3.0, 4000, rng)
+        assert np.mean(samples) == pytest.approx(50.0, rel=0.1)
+        assert any(
+            "empty LUT row" in record.message for record in caplog.records
+        )
+
+    def test_sample_pairs_many_skips_empty_row(
+        self, gappy_lut, caplog, monkeypatch
+    ):
+        import logging
+
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        rng = np.random.default_rng(4)
+        energies = np.full(4000, 30.0)  # bracketed by rows 1 (empty) and 2
+        with caplog.at_level("WARNING", logger="repro"):
+            samples = gappy_lut.sample_pairs_many(energies, rng)
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+        assert any(
+            "empty LUT rows" in record.message for record in caplog.records
+        )
+
+    def test_populated_bracket_untouched(self, gappy_lut):
+        # queries on a fully populated bracket keep exact interpolation
+        full = ElectronYieldLUT(
+            particle_name="alpha",
+            energies_mev=gappy_lut.energies_mev.copy(),
+            hit_fraction=np.array([0.5, 0.5, 0.5]),
+            mean_pairs=np.array([50.0, 75.0, 100.0]),
+            quantiles=np.array(
+                [
+                    np.linspace(0.0, 100.0, 9),
+                    np.linspace(0.0, 150.0, 9),
+                    np.linspace(0.0, 200.0, 9),
+                ]
+            ),
+            trials_per_energy=1000,
+        )
+        rng_a = np.random.default_rng(5)
+        rng_b = np.random.default_rng(5)
+        direct = full.sample_pairs(3.0, 100, rng_a)
+        via_many = full.sample_pairs_many(np.full(100, 3.0), rng_b)
+        assert np.allclose(direct, via_many)
+
+    def test_all_rows_empty_raises(self):
+        from repro.errors import LookupError_
+
+        lut = ElectronYieldLUT(
+            particle_name="alpha",
+            energies_mev=np.array([1.0, 10.0]),
+            hit_fraction=np.zeros(2),
+            mean_pairs=np.zeros(2),
+            quantiles=np.zeros((2, 5)),
+            trials_per_energy=100,
+        )
+        with pytest.raises(LookupError_):
+            lut.sample_pairs(3.0, 10, np.random.default_rng(0))
+        with pytest.raises(LookupError_):
+            lut.sample_pairs_many(np.array([3.0]), np.random.default_rng(0))
+
+    def test_both_brackets_empty_snaps_to_nearest(self):
+        # rows 0 and 1 empty, row 2 populated: queries low in the grid
+        # must reach the only populated row
+        lut = ElectronYieldLUT(
+            particle_name="alpha",
+            energies_mev=np.array([1.0, 10.0, 100.0]),
+            hit_fraction=np.array([0.0, 0.0, 0.5]),
+            mean_pairs=np.array([0.0, 0.0, 100.0]),
+            quantiles=np.array(
+                [np.zeros(9), np.zeros(9), np.linspace(0.0, 200.0, 9)]
+            ),
+            trials_per_energy=1000,
+        )
+        rng = np.random.default_rng(6)
+        samples = lut.sample_pairs(2.0, 4000, rng)
+        assert np.mean(samples) == pytest.approx(100.0, rel=0.1)
+        many = lut.sample_pairs_many(
+            np.full(4000, 2.0), np.random.default_rng(7)
+        )
+        assert np.mean(many) == pytest.approx(100.0, rel=0.1)
+
+
 class TestYieldShape:
     def test_fig4_shape_decreasing_above_peak(self):
         """Paper Fig. 4: yield falls with energy above the Bragg peak."""
