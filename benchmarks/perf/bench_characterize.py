@@ -1,0 +1,204 @@
+"""Perf harness for the cell characterization kernel (docs/performance.md).
+
+Times the :class:`~repro.sram.fastcell.FastCell` kernel variants on the
+characterize stage -- the seed per-role exact kernel, the fused exact
+kernel, early-exit integration, and the tabulated I-V backend that is
+the current default -- and appends one run entry to a
+``BENCH_characterize.json`` trajectory artifact so the speedups can be
+tracked across commits.
+
+Usage (CI runs the tiny scale)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_characterize.py \
+        --scale tiny --check --out BENCH_characterize.json
+
+``--check`` asserts the kernel contracts: fused, early-exit, settle
+hoisting, and batch chunking reproduce the seed exact kernel
+*bit-identically*; the tabulated backend stays within the documented
+``max |dPOF| <= 0.01`` accuracy budget; and the default configuration
+(tabulated + early exit) beats the seed kernel by at least
+``--min-speedup`` (3x by default, the PR acceptance bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.sram import CharacterizationConfig, SramCellDesign, characterize_cell
+
+SCALES = {
+    # (supply sweep, charge points, variation samples, pair/triple caps)
+    "tiny": dict(
+        vdd_list=(0.7, 0.9),
+        n_charge_points=9,
+        n_samples=8,
+        max_pair_points=4,
+        max_triple_points=3,
+        seed=5,
+    ),
+    "small": dict(
+        vdd_list=(0.7, 0.9, 1.1),
+        n_charge_points=13,
+        n_samples=50,
+        max_pair_points=5,
+        max_triple_points=4,
+        seed=5,
+    ),
+    "full": dict(),  # the paper-scale CharacterizationConfig defaults
+}
+
+#: The benched kernel variants, as CharacterizationConfig overrides.
+#: "seed" replicates the pre-kernel-rework hot loop (per-role exact
+#: model calls, full horizon, per-task settle); "default" is the
+#: shipped configuration.  The single-feature variants isolate each
+#: contract asserted by ``--check``.
+VARIANTS = {
+    "seed": dict(kernel="exact", early_exit=False, hoist_settle=False),
+    "fused": dict(kernel="fused", early_exit=False, hoist_settle=False),
+    "hoist": dict(kernel="exact", early_exit=False, hoist_settle=True),
+    # max_batch is filled in per scale (4 grid points per chunk) so the
+    # chunk loop genuinely engages without degenerating to per-point
+    # batches at large sample counts
+    "chunked": dict(kernel="exact", early_exit=False, hoist_settle=False),
+    "early_exit": dict(kernel="fused", early_exit=True, hoist_settle=False),
+    "default": dict(),  # tabulated + early exit + hoisted settle
+}
+
+#: Accuracy budget of the tabulated backend versus the exact kernel.
+POF_TOLERANCE = 0.01
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def _max_pof_dev(a, b) -> float:
+    return max(
+        float(np.max(np.abs(a.pof[combo] - b.pof[combo]))) for combo in a.pof
+    )
+
+
+def _assert_identical(a, b, label: str) -> None:
+    for combo in a.pof:
+        assert np.array_equal(a.pof[combo], b.pof[combo]), (
+            f"{label}: POF grid of combo {combo} is not bit-identical"
+        )
+
+
+def bench_characterize(scale, check, min_speedup):
+    design = SramCellDesign()
+    timings, tables = {}, {}
+    n_samples = CharacterizationConfig(**scale).n_samples
+    for name, overrides in VARIANTS.items():
+        if name == "chunked":
+            overrides = dict(overrides, max_batch=4 * n_samples)
+        config = CharacterizationConfig(**scale, **overrides)
+        table, seconds = _time(
+            lambda: characterize_cell(design, config, n_jobs=1)
+        )
+        timings[name] = seconds
+        tables[name] = table
+
+    if check:
+        seed = tables["seed"]
+        _assert_identical(tables["fused"], seed, "fused kernel")
+        _assert_identical(tables["hoist"], seed, "settle hoisting")
+        _assert_identical(tables["chunked"], seed, "max_batch chunking")
+        _assert_identical(tables["early_exit"], seed, "early exit")
+        dev = _max_pof_dev(tables["default"], seed)
+        assert dev <= POF_TOLERANCE, (
+            f"tabulated kernel max |dPOF| {dev:.4f} exceeds the "
+            f"{POF_TOLERANCE} budget"
+        )
+        speedup = timings["seed"] / timings["default"]
+        assert speedup >= min_speedup, (
+            f"default kernel speedup {speedup:.2f}x below the "
+            f"{min_speedup:.1f}x floor (seed {timings['seed']:.3f}s, "
+            f"default {timings['default']:.3f}s)"
+        )
+    return timings, _max_pof_dev(tables["default"], tables["seed"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="problem size (tiny = CI smoke, full = paper scale)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the kernel equality/accuracy/speedup contracts",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="--check floor for default-vs-seed speedup (default: 3.0)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_characterize.json",
+        help="trajectory artifact to append this run to",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    print(f"scale={args.scale} check={args.check}")
+    timings, tab_dev = bench_characterize(scale, args.check, args.min_speedup)
+    seed = timings["seed"]
+    for name in VARIANTS:
+        print(
+            f"{name:>11s}  {timings[name]:.3f}s"
+            f"  ({seed / timings[name]:.2f}x vs seed)"
+        )
+    print(f"tabulated max |dPOF| vs exact: {tab_dev:.4f}")
+    if args.check:
+        print(
+            "kernel contracts passed (fused/hoist/chunked/early-exit "
+            f"bit-identical, |dPOF| <= {POF_TOLERANCE}, "
+            f">= {args.min_speedup:.1f}x)"
+        )
+
+    entry = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "scale": args.scale,
+        "checked": bool(args.check),
+        "min_speedup": args.min_speedup,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "timings_s": timings,
+        "speedup_default_vs_seed": seed / timings["default"],
+        "tabulated_max_pof_dev": tab_dev,
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"trajectory appended to {out} ({len(history)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,6 +169,34 @@ def _add_common(parser):
         action="store_true",
         help="neglect process variation (nominal binary POFs)",
     )
+    _add_cell_kernel(parser)
+
+
+def _add_cell_kernel(parser):
+    group = parser.add_argument_group("cell kernel")
+    group.add_argument(
+        "--cell-kernel",
+        choices=("exact", "fused", "tabulated"),
+        default="tabulated",
+        help="FastCell current kernel for POF characterization "
+        "(default: tabulated; fused/exact are the bit-identical "
+        "reference paths)",
+    )
+    group.add_argument(
+        "--no-cell-early-exit",
+        dest="cell_early_exit",
+        action="store_false",
+        default=True,
+        help="integrate every strike to the full horizon instead of "
+        "freezing decided trajectories early",
+    )
+    group.add_argument(
+        "--cell-max-batch",
+        type=int,
+        default=200_000,
+        help="peak (grid point x variation sample) rows per cell "
+        "simulation batch (default: 200000)",
+    )
 
 
 def _make_flow(args, vdd_list=None):
@@ -183,7 +211,11 @@ def _make_flow(args, vdd_list=None):
         yield_trials_per_energy=args.yield_trials,
         yield_energy_points=args.yield_points,
         characterization=CharacterizationConfig(
-            vdd_list=vdds, n_samples=args.samples
+            vdd_list=vdds,
+            n_samples=args.samples,
+            kernel=args.cell_kernel,
+            early_exit=args.cell_early_exit,
+            max_batch=args.cell_max_batch,
         ),
         process_variation=not args.no_variation,
         mc_particles_per_bin=args.mc_particles,
@@ -244,7 +276,12 @@ def cmd_qcrit(args) -> int:
 
     vdds = [float(v) for v in args.vdd_list.split(",")]
     design = SramCellDesign()
-    qcrits = critical_charge_vs_vdd(design, vdds)
+    qcrits = critical_charge_vs_vdd(
+        design,
+        vdds,
+        kernel=args.cell_kernel,
+        early_exit=args.cell_early_exit,
+    )
     for vdd, qcrit in zip(vdds, qcrits):
         electrons = qcrit / 1.602176634e-19
         _say(f"vdd={vdd:.2f} V  Qcrit={qcrit * 1e15:.4f} fC  ({electrons:.0f} e-)")
@@ -346,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_qcrit = sub.add_parser("qcrit", help="nominal critical charge vs Vdd")
     p_qcrit.add_argument("--vdd-list", default="0.7,0.8,0.9,1.0,1.1")
+    _add_cell_kernel(p_qcrit)
     p_qcrit.set_defaults(func=cmd_qcrit)
 
     p_report = sub.add_parser(

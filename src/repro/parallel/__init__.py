@@ -8,6 +8,7 @@ crash-safe checkpoints, graceful degradation to partial statistics).
 """
 
 from .engine import (
+    AUTO_INLINE_THRESHOLD_S,
     ParallelConfig,
     RetryPolicy,
     parallel_map,
@@ -17,6 +18,7 @@ from .engine import (
 from .journal import ShardJournal
 
 __all__ = [
+    "AUTO_INLINE_THRESHOLD_S",
     "ParallelConfig",
     "RetryPolicy",
     "ShardJournal",

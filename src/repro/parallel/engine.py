@@ -82,6 +82,7 @@ from ..obs.registry import enable_metrics
 _log = get_logger(__name__)
 
 __all__ = [
+    "AUTO_INLINE_THRESHOLD_S",
     "ParallelConfig",
     "RetryPolicy",
     "parallel_map",
@@ -290,6 +291,31 @@ def _shutdown_executor(executor: ProcessPoolExecutor):
                 process.terminate()
 
 
+#: Minimum estimated per-worker work [s] that justifies spinning up a
+#: pool.  Forking workers, shipping the payload, and collecting results
+#: costs tens of milliseconds per worker on a typical host; below this
+#: threshold the pool is pure overhead (measured in
+#: ``BENCH_parallel.json``: tiny yield-LUT builds run ~5x slower with 2
+#: workers than inline).
+AUTO_INLINE_THRESHOLD_S = 0.05
+
+
+def _should_auto_inline(
+    cost_hint_s: Optional[float], n_pending: int, jobs: int
+) -> bool:
+    """Whether the estimated work is too small to justify a pool.
+
+    Only active when the caller supplied an explicit ``cost_hint_s``
+    (no hint means no basis for the estimate -- maps without a hint
+    keep their requested worker count) and never while the
+    fault-injection hook is armed (the kill tests target pooled
+    workers by shard index).
+    """
+    if cost_hint_s is None or os.environ.get(FAULT_ENV):
+        return False
+    return cost_hint_s * n_pending / jobs < AUTO_INLINE_THRESHOLD_S
+
+
 def parallel_map(
     fn: Callable[[Any, Any], Any],
     tasks: Sequence[Any],
@@ -300,6 +326,7 @@ def parallel_map(
     start_method: Optional[str] = None,
     retry: Optional[RetryPolicy] = None,
     journal=None,
+    cost_hint_s: Optional[float] = None,
 ) -> list:
     """Ordered map of ``fn(payload, task)`` over ``tasks``.
 
@@ -321,6 +348,14 @@ def parallel_map(
         skipped (counted in ``journal.resumed``); every freshly
         completed shard is durably recorded before the map returns, so
         a crashed campaign resumes with partial credit.
+    cost_hint_s:
+        Caller's estimate of one task's wall time [s].  When the
+        estimated work per worker falls below
+        :data:`AUTO_INLINE_THRESHOLD_S`, the map runs inline even with
+        ``n_jobs > 1`` -- pool spin-up would cost more than it saves
+        (logged, counted in ``parallel.auto_inline``).  Results are
+        unaffected either way (the determinism contract).  ``None``
+        (default) disables the heuristic.
 
     Returns the results in task order.  Shards lost past the retry
     budget under ``allow_partial=True`` come back as ``None`` -- filter
@@ -356,6 +391,21 @@ def parallel_map(
     jobs = min(resolve_jobs(n_jobs), len(pending))
     t0 = time.perf_counter()
     busy_s = 0.0
+
+    if jobs > 1 and _should_auto_inline(cost_hint_s, len(pending), jobs):
+        if metrics.enabled:
+            metrics.counter("parallel.auto_inline").inc()
+        _log.info(
+            "auto-inline %s",
+            kv(
+                label=label,
+                tasks=len(pending),
+                workers=jobs,
+                est_per_worker_s=round(cost_hint_s * len(pending) / jobs, 4),
+                threshold_s=AUTO_INLINE_THRESHOLD_S,
+            ),
+        )
+        jobs = 1
 
     if jobs <= 1 or len(pending) <= 1 or _in_worker():
         if metrics.enabled:

@@ -479,6 +479,8 @@ class ArraySerSimulator:
                 label="array_mc",
                 retry=retry,
                 journal=journal,
+                # ~2 us per particle: tiny campaigns skip pool spin-up
+                cost_hint_s=2.0e-6 * n_particles / max(len(tasks), 1),
             )
             lost = sum(1 for group in nested if group is None)
             with metrics.time("array_mc.merge"):

@@ -8,7 +8,8 @@ from .access import (
 )
 from .cell import ROLES, SENSITIVE_ROLES, STRIKE_TARGETS, SramCellDesign
 from .characterize import CharacterizationConfig, characterize_cell
-from .fastcell import FastCell
+from .fastcell import KERNELS, FastCell
+from .ivtab import IVTables
 from .pof_cdf import QcritCdfModel
 from .pof_lut import PofTable
 from .qcrit import (
@@ -26,6 +27,8 @@ __all__ = [
     "SENSITIVE_ROLES",
     "STRIKE_TARGETS",
     "FastCell",
+    "KERNELS",
+    "IVTables",
     "CharacterizationConfig",
     "characterize_cell",
     "PofTable",

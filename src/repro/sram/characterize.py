@@ -21,7 +21,8 @@ from ..errors import ConfigError
 from ..obs import get_logger, get_registry, kv, span
 from ..parallel import parallel_map
 from .cell import SramCellDesign
-from .fastcell import FastCell
+from .fastcell import KERNELS, FastCell
+from .ivtab import DEFAULT_TABLE_POINTS, IVTables
 from .pof_lut import PofTable
 from .strike import ALL_COMBOS
 
@@ -58,6 +59,28 @@ class CharacterizationConfig:
     enforce_monotone:
         Clean MC noise by making POF non-decreasing along every charge
         axis (POF is physically monotone in each collected charge).
+    kernel:
+        :class:`~repro.sram.fastcell.FastCell` current kernel.  The
+        default ``"tabulated"`` interpolates per-(role-type, Vdd) I-V
+        tables built once per Vdd in the parent; ``"fused"`` and
+        ``"exact"`` evaluate the compact model directly and are
+        bit-identical to each other (see ``docs/performance.md``).
+    early_exit:
+        Freeze decided trajectories during the strike relaxation and
+        compact the live batch (same POF, fewer integrated steps).
+    early_exit_margin_v:
+        Override of the early-exit separation margin [V]; ``None``
+        uses the validated per-batch default.
+    table_points:
+        Grid points per axis of the tabulated kernel's I-V tables.
+    max_batch:
+        Cap on simultaneous (grid point x variation sample) rows per
+        :meth:`FastCell.run_impulse` batch -- dense grids with large
+        MC are chunked to bound peak memory; POF output is identical.
+    hoist_settle:
+        Compute the settled baselines once per Vdd in the parent
+        (they depend only on (vdd, shifts)) instead of re-running the
+        80-step settle in all 7 per-combo tasks; bit-identical.
     """
 
     vdd_list: Tuple[float, ...] = (0.7, 0.8, 0.9, 1.0, 1.1)
@@ -72,6 +95,12 @@ class CharacterizationConfig:
     t_sim_s: float = 3.0e-11
     dt_s: float = 2.5e-13
     enforce_monotone: bool = True
+    kernel: str = "tabulated"
+    early_exit: bool = True
+    early_exit_margin_v: Optional[float] = None
+    table_points: int = DEFAULT_TABLE_POINTS
+    max_batch: int = 200_000
+    hoist_settle: bool = True
 
     def __post_init__(self):
         if not self.vdd_list or any(v <= 0 for v in self.vdd_list):
@@ -86,6 +115,16 @@ class CharacterizationConfig:
             raise ConfigError("need >= 1 variation sample")
         if self.max_pair_points < 3 or self.max_triple_points < 3:
             raise ConfigError("pair/triple grids need >= 3 points per axis")
+        if self.kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown cell kernel {self.kernel!r}; choose from {KERNELS}"
+            )
+        if self.early_exit_margin_v is not None and self.early_exit_margin_v <= 0:
+            raise ConfigError("early-exit margin must be positive")
+        if self.table_points < 8:
+            raise ConfigError("need >= 8 table points per axis")
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
 
     def charge_axis_c(self) -> np.ndarray:
         """The shared log-spaced charge axis [C]."""
@@ -119,18 +158,42 @@ def _enforce_monotone(grid: np.ndarray) -> np.ndarray:
     return np.clip(result, 0.0, 1.0)
 
 
+def _cell_for(
+    design: SramCellDesign,
+    vdd: float,
+    config: CharacterizationConfig,
+    tables: Optional[IVTables] = None,
+) -> FastCell:
+    """A :class:`FastCell` configured per the characterization knobs."""
+    return FastCell(
+        design,
+        vdd,
+        kernel=config.kernel,
+        tables=tables if config.kernel == "tabulated" else None,
+        table_points=config.table_points,
+        early_exit=config.early_exit,
+        early_exit_margin_v=config.early_exit_margin_v,
+    )
+
+
 def _characterize_task(payload, task):
     """Pool worker: the finished POF grid of one (combo, vdd) case.
 
     The grid is a deterministic function of the precomputed variation
     shifts (sampled once in the parent from ``config.seed``), so
-    results are identical for any worker count by construction.
+    results are identical for any worker count by construction.  The
+    parent also precomputes, keyed by Vdd, the settled baselines and
+    (for the tabulated kernel) the I-V tables -- both depend only on
+    (vdd, shifts), not on the strike combination, so the 7 per-combo
+    tasks share them through the broadcast payload.
     """
     combo, vdd = task
     config = payload["config"]
     combo_axis = config.axis_for_combo(combo)
+    tables, settled = payload["per_vdd"][vdd]
     grid = _pof_grid_for_combo(
-        payload["design"], vdd, combo, combo_axis, payload["shifts"], config
+        payload["design"], vdd, combo, combo_axis, payload["shifts"], config,
+        settled=settled, tables=tables,
     )
     if config.enforce_monotone:
         grid = _enforce_monotone(grid)
@@ -205,6 +268,26 @@ def characterize_cell(
         combos=len(ALL_COMBOS),
         samples=n_samples,
     ):
+        # Per-Vdd precomputation, shared by all 7 combo tasks: the I-V
+        # tables of the tabulated kernel and (when hoisted) the settled
+        # baselines.  Both depend only on (vdd, shifts), and computing
+        # them here keeps them deterministic regardless of how tasks
+        # land on workers.
+        per_vdd = {}
+        for vdd in config.vdd_list:
+            cell = _cell_for(design, vdd, config)
+            tables = (
+                cell._ensure_tables(shifts)
+                if config.kernel == "tabulated"
+                else None
+            )
+            settled = (
+                cell.settle(shifts, dt_s=config.dt_s)
+                if config.hoist_settle
+                else None
+            )
+            per_vdd[vdd] = (tables, settled)
+
         tasks = [
             (combo, vdd)
             for combo in ALL_COMBOS
@@ -218,11 +301,13 @@ def characterize_cell(
                 "config": config,
                 "shifts": shifts,
                 "shared_axis": shared_axis,
+                "per_vdd": per_vdd,
             },
             n_jobs=n_jobs,
             label="characterize",
             retry=retry.strict() if retry is not None else None,
             journal=journal,
+            cost_hint_s=_task_cost_hint_s(config, n_samples),
         )
         if journal is not None:
             # every grid is present (strict policy) -- the checkpoint
@@ -252,6 +337,25 @@ def characterize_cell(
     )
 
 
+def _task_cost_hint_s(config: CharacterizationConfig, n_samples: int) -> float:
+    """Rough wall-clock estimate [s] of one (combo, vdd) grid task.
+
+    Used by :func:`~repro.parallel.parallel_map` to skip pool spin-up
+    when the whole map is cheaper than forking workers.  The model is
+    (rows x steps) at an empirical ~25 ns per row-step for the mean
+    combo grid, plus a fixed per-task floor; precision is irrelevant --
+    only the inline-vs-pool break-even (~tens of ms) matters.
+    """
+    mean_points = sum(
+        len(config.axis_for_combo(combo)) ** len(combo)
+        for combo in ALL_COMBOS
+    ) / len(ALL_COMBOS)
+    steps = max(int(round(config.t_sim_s / config.dt_s)), 1)
+    if not config.hoist_settle:
+        steps += 80
+    return 2.5e-8 * mean_points * n_samples * steps + 0.005
+
+
 def _pof_grid_for_combo(
     design: SramCellDesign,
     vdd: float,
@@ -259,11 +363,22 @@ def _pof_grid_for_combo(
     axis_c: np.ndarray,
     shifts: np.ndarray,
     config: CharacterizationConfig,
+    settled: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    tables: Optional[IVTables] = None,
 ) -> np.ndarray:
-    """POF over the charge mesh of one (vdd, combo) case."""
-    cell = FastCell(design, vdd)
+    """POF over the charge mesh of one (vdd, combo) case.
+
+    ``settled`` / ``tables`` are the per-Vdd precomputations hoisted
+    into the parent (computed here when absent, with identical
+    results).  The (grid point x variation sample) expansion is
+    chunked under ``config.max_batch`` rows; chunks are independent
+    row ranges of the same batch, so the POF is identical to the
+    unchunked evaluation.
+    """
+    cell = _cell_for(design, vdd, config, tables=tables)
     n_samples = shifts.shape[0]
-    settled = cell.settle(shifts, dt_s=config.dt_s)
+    if settled is None:
+        settled = cell.settle(shifts, dt_s=config.dt_s)
 
     mesh = np.meshgrid(*([axis_c] * len(combo)), indexing="ij")
     n_points = mesh[0].size
@@ -271,20 +386,32 @@ def _pof_grid_for_combo(
     for dim, strike_index in enumerate(combo):
         charges[:, strike_index] = mesh[dim].ravel()
 
-    # tile: every grid point runs every variation sample
-    charges_full = np.repeat(charges, n_samples, axis=0)
-    shifts_full = np.tile(shifts, (n_points, 1))
-    settled_full = (
-        np.tile(settled[0], n_points),
-        np.tile(settled[1], n_points),
-    )
-
-    flipped = cell.run_impulse(
-        charges_full,
-        shifts_full,
-        settled=settled_full,
-        t_sim_s=config.t_sim_s,
-        dt_s=config.dt_s,
+    # tile: every grid point runs every variation sample -- in chunks
+    # of whole grid points so peak memory stays under max_batch rows
+    points_per_chunk = max(1, config.max_batch // n_samples)
+    flipped_chunks = []
+    for start in range(0, n_points, points_per_chunk):
+        chunk = charges[start : start + points_per_chunk]
+        n_chunk = chunk.shape[0]
+        charges_full = np.repeat(chunk, n_samples, axis=0)
+        shifts_full = np.tile(shifts, (n_chunk, 1))
+        settled_full = (
+            np.tile(settled[0], n_chunk),
+            np.tile(settled[1], n_chunk),
+        )
+        flipped_chunks.append(
+            cell.run_impulse(
+                charges_full,
+                shifts_full,
+                settled=settled_full,
+                t_sim_s=config.t_sim_s,
+                dt_s=config.dt_s,
+            )
+        )
+    flipped = (
+        np.concatenate(flipped_chunks)
+        if len(flipped_chunks) > 1
+        else flipped_chunks[0]
     )
     pof_flat = flipped.reshape(n_points, n_samples).mean(axis=1)
     return pof_flat.reshape(mesh[0].shape)

@@ -21,6 +21,28 @@ Strike injection modes
   nodes.
 * ``"pulse"`` -- resolve a rectangular current pulse of a given width
   explicitly (used by the pulse-width ablation).
+
+Current kernels
+---------------
+The RK4 stage derivative is served by one of three pluggable kernels
+(``kernel=`` at construction; see ``docs/performance.md``):
+
+* ``"exact"`` -- the reference: six per-role compact-model calls per
+  stage, exactly the original implementation.
+* ``"fused"`` (default) -- two stacked compact-model calls per stage
+  (one batched n-type for {pd_l, pg_l, pd_r, pg_r}, one batched p-type
+  for {pu_l, pu_r}).  Bit-identical to ``"exact"``: the model is purely
+  elementwise, so stacking rows changes nothing but the Python-call
+  count.
+* ``"tabulated"`` -- bilinear lookups into per-(role-type, Vdd)
+  :class:`~repro.sram.ivtab.IVTables` built once per cell and amortized
+  over every stage evaluation.  Approximate, with a tested accuracy
+  budget; keep ``"exact"`` for ground truth.
+
+Independently, ``early_exit=True`` freezes trajectories whose node
+separation has regeneratively latched (checked every
+``early_exit_check_every`` steps) and compacts the live batch, so the
+fixed integration horizon is only paid near the flip boundary.
 """
 
 from __future__ import annotations
@@ -30,37 +52,197 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import get_registry
 from ..devices import TechnologyCard
 from .cell import ROLES, SENSITIVE_ROLES, STRIKE_TARGETS, SramCellDesign
+from .ivtab import DEFAULT_TABLE_POINTS, IVTables
 
 #: Node-voltage clamp margin beyond the rails [V] -- the forward drop
 #: of the junctions that catch an overdriven storage node.
 _CLAMP_MARGIN_V = 0.6
 
+#: Selectable current kernels.
+KERNELS = ("exact", "fused", "tabulated")
+
+#: Default early-exit separation margin as a fraction of Vdd.  A
+#: trajectory whose |vq - vqb| stays beyond the margin with a stable
+#: sign across two consecutive checks is past the metastable point by
+#: more than any excursion the regenerative feedback can still undo,
+#: so it can only latch to that side -- the outcome is decided.
+#: Stress integration over the reachable post-strike state space shows
+#: wrong-side excursions (a trajectory visiting s < -m yet ending
+#: unflipped, or vice versa) bounded by ~1.1x the worst per-device
+#: |dVth| of the batch, so the default margin is
+#: max(0.6 * Vdd, 1.5 * max|dVth|); if mismatch is so extreme that the
+#: margin exceeds the latched separation, nothing freezes and the loop
+#: silently degrades to the full horizon (correct, just not faster).
+#: The equality tests compare against the full-horizon run.
+_EARLY_EXIT_MARGIN_FRAC = 0.6
+
+#: Safety factor on the batch's worst |dVth| in the default margin.
+_EARLY_EXIT_SHIFT_FACTOR = 1.5
+
+#: Headroom factor on max |dVth| when sizing lazily-built I-V tables,
+#: so small follow-up batches don't force a rebuild.
+_TABLE_PAD_HEADROOM = 1.5
+
+
+class _ExactCtx:
+    """Per-batch state for the exact per-role kernel."""
+
+    __slots__ = ("shifts",)
+
+    def __init__(self, shifts: np.ndarray):
+        self.shifts = shifts
+
+    def take(self, keep: np.ndarray) -> "_ExactCtx":
+        return _ExactCtx(self.shifts[keep])
+
+
+class _FusedCtx:
+    """Pre-gathered shift rows for the stacked two-call kernel.
+
+    ``nsh`` rows are (pd_l, pg_l, pd_r, pg_r); ``psh`` rows are
+    (pu_l, pu_r) -- the order the stage stacks its terminal voltages.
+    """
+
+    __slots__ = ("nsh", "psh")
+
+    def __init__(self, nsh: np.ndarray, psh: np.ndarray):
+        self.nsh = nsh
+        self.psh = psh
+
+    def take(self, keep: np.ndarray) -> "_FusedCtx":
+        return _FusedCtx(self.nsh[:, keep], self.psh[:, keep])
+
+
+#: Row mask turning the opposite-node voltage into the three effective
+#: gate queries: the pass-gate's gate is the grounded word line, so its
+#: row ignores the node voltage entirely.
+_TAB_GATE_MASK = np.array([[1.0], [0.0], [1.0]])
+
+
+class _TabCtx:
+    """Effective-gate offsets for the tabulated kernel.
+
+    ``offsets`` has shape ``(3, 2n)`` with rows (-d_pd, -d_pg, +d_pu);
+    the stage query is ``w3 = other * _TAB_GATE_MASK + offsets`` where
+    ``other`` is the opposite-node voltage.  Columns: the first ``n``
+    serve node q (devices pd_l/pg_l/pu_l), the last ``n`` node qb
+    (pd_r/pg_r/pu_r), so one table query per stage covers both nodes.
+    """
+
+    __slots__ = ("tables", "offsets")
+
+    def __init__(self, tables, offsets):
+        self.tables = tables
+        self.offsets = offsets
+
+    def take(self, keep: np.ndarray) -> "_TabCtx":
+        keep2 = np.concatenate([keep, keep])
+        return _TabCtx(self.tables, self.offsets[:, keep2])
+
 
 class FastCell:
-    """Vectorized two-node hold-state model of one 6T cell at fixed Vdd."""
+    """Vectorized two-node hold-state model of one 6T cell at fixed Vdd.
 
-    def __init__(self, design: SramCellDesign, vdd_v: float):
+    Parameters
+    ----------
+    design, vdd_v:
+        Cell design and supply voltage.
+    kernel:
+        One of :data:`KERNELS`.  ``"fused"`` (default) and ``"exact"``
+        are bit-identical; ``"tabulated"`` trades a tested POF accuracy
+        budget for speed.
+    tables:
+        Pre-built :class:`~repro.sram.ivtab.IVTables` for the
+        tabulated kernel (must match ``vdd_v``); built lazily from the
+        first batch's shift range when omitted.
+    table_points:
+        Grid points per axis for lazily-built tables.
+    early_exit:
+        Freeze decided trajectories during strike relaxation and
+        compact the live batch (see module docstring).
+    early_exit_margin_v:
+        Separation margin [V] beyond which a sign-stable |vq - vqb|
+        counts as decided; defaults per batch to
+        ``max(0.6 * vdd_v, 1.5 * max|dVth|)``.
+    early_exit_check_every:
+        Steps between early-exit checks.
+    """
+
+    def __init__(
+        self,
+        design: SramCellDesign,
+        vdd_v: float,
+        kernel: str = "fused",
+        tables: Optional[IVTables] = None,
+        table_points: int = DEFAULT_TABLE_POINTS,
+        early_exit: bool = False,
+        early_exit_margin_v: Optional[float] = None,
+        early_exit_check_every: int = 8,
+    ):
         if vdd_v <= 0:
             raise ConfigError("Vdd must be positive")
+        if kernel not in KERNELS:
+            raise ConfigError(
+                f"unknown cell kernel {kernel!r}; choose from {KERNELS}"
+            )
+        if early_exit_margin_v is not None and early_exit_margin_v <= 0:
+            raise ConfigError("early-exit margin must be positive")
+        if early_exit_check_every < 1:
+            raise ConfigError("early-exit check interval must be >= 1")
         self.design = design
         self.vdd = float(vdd_v)
         self.cap_f = design.tech.node_cap_f
+        self.kernel = kernel
+        self.early_exit = bool(early_exit)
+        self._ee_margin = (
+            float(early_exit_margin_v)
+            if early_exit_margin_v is not None
+            else None
+        )
+        self._ee_every = int(early_exit_check_every)
+        self._table_points = int(table_points)
         self._nmos = design.tech.nmos
         self._pmos = design.tech.pmos
         self._idx = {role: design.role_index(role) for role in ROLES}
         self._nfin = {role: design.nfin_of(role) for role in ROLES}
+        # fin counts in stacked-row order, as column vectors so the
+        # per-row scale broadcasts across the batch
+        self._nf_n = np.array(
+            [
+                [self._nfin["pd_l"]],
+                [self._nfin["pg_l"]],
+                [self._nfin["pd_r"]],
+                [self._nfin["pg_r"]]
+            ],
+            dtype=np.float64,
+        )
+        self._nf_p = np.array(
+            [[self._nfin["pu_l"]], [self._nfin["pu_r"]]], dtype=np.float64
+        )
+        if tables is not None:
+            if abs(tables.vdd - self.vdd) > 1e-12:
+                raise ConfigError(
+                    "I-V tables were built for a different Vdd"
+                )
+            if kernel != "tabulated":
+                raise ConfigError(
+                    "I-V tables require kernel='tabulated'"
+                )
+        self._tables = tables
 
     # -- dynamics -------------------------------------------------------------
 
     def node_currents(
         self, vq: np.ndarray, vqb: np.ndarray, shifts: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Currents [A] flowing *into* nodes q and qb (vectorized).
+        """Currents [A] flowing *into* nodes q and qb (exact reference).
 
         ``shifts`` has shape ``(n, 6)`` in :data:`~repro.sram.cell.ROLES`
-        order.
+        order.  This is the per-role reference evaluation regardless of
+        the configured kernel.
         """
         vdd = self.vdd
 
@@ -85,12 +267,45 @@ class FastCell:
         )
         return i_q, i_qb
 
-    def _rk4_step(self, vq, vqb, shifts, dt, extra_q=0.0, extra_qb=0.0):
+    def _deriv_currents(self, a, b, ctx):
+        """Stage currents into (q, qb) under the configured kernel."""
+        if isinstance(ctx, _ExactCtx):
+            return self.node_currents(a, b, ctx.shifts)
+        if isinstance(ctx, _FusedCtx):
+            vf = np.full_like(a, self.vdd)
+            z = np.zeros_like(a)
+            # row order (pd_l, pg_l, pd_r, pg_r) / (pu_l, pu_r)
+            vd_n = np.stack((a, vf, b, vf))
+            vg_n = np.stack((b, z, a, z))
+            vs_n = np.stack((z, a, z, b))
+            ids_n = self._nf_n * self._nmos.ids(
+                vd_n, vg_n, vs_n, vth_shift=ctx.nsh
+            )
+            vd_p = np.stack((a, b))
+            vg_p = np.stack((b, a))
+            vs_p = np.full_like(vd_p, self.vdd)
+            ids_p = self._nf_p * self._pmos.ids(
+                vd_p, vg_p, vs_p, vth_shift=ctx.psh
+            )
+            i_q = -ids_p[0] - ids_n[0] + ids_n[1]
+            i_qb = -ids_p[1] - ids_n[2] + ids_n[3]
+            return i_q, i_qb
+        # tabulated: both nodes, all three device types, one gather
+        n = a.shape[0]
+        u = np.concatenate([a, b])
+        other = np.concatenate([b, a])
+        i3 = ctx.tables.currents_stacked(
+            u, other * _TAB_GATE_MASK + ctx.offsets
+        )
+        i = -i3[2] - i3[0] + i3[1]
+        return i[:n], i[n:]
+
+    def _step(self, vq, vqb, ctx, dt, extra_q=0.0, extra_qb=0.0):
         """One RK4 step; ``extra_*`` are additional injected currents [A]."""
         c = self.cap_f
 
         def deriv(a, b):
-            i_q, i_qb = self.node_currents(a, b, shifts)
+            i_q, i_qb = self._deriv_currents(a, b, ctx)
             return (i_q + extra_q) / c, (i_qb + extra_qb) / c
 
         k1q, k1b = deriv(vq, vqb)
@@ -101,8 +316,135 @@ class FastCell:
         vqb_new = vqb + dt / 6.0 * (k1b + 2 * k2b + 2 * k3b + k4b)
         return self._clamp(vq_new), self._clamp(vqb_new)
 
+    def _rk4_step(self, vq, vqb, shifts, dt, extra_q=0.0, extra_qb=0.0):
+        """One exact-kernel RK4 step (reference; original signature)."""
+        return self._step(vq, vqb, _ExactCtx(shifts), dt, extra_q, extra_qb)
+
     def _clamp(self, v):
         return np.clip(v, -_CLAMP_MARGIN_V, self.vdd + _CLAMP_MARGIN_V)
+
+    # -- kernel plumbing ------------------------------------------------------
+
+    def _make_ctx(self, shifts: np.ndarray):
+        """Build the per-batch kernel context for validated ``shifts``."""
+        if self.kernel == "exact":
+            return _ExactCtx(shifts)
+        if self.kernel == "fused":
+            nsh = np.stack(
+                (
+                    shifts[:, self._idx["pd_l"]],
+                    shifts[:, self._idx["pg_l"]],
+                    shifts[:, self._idx["pd_r"]],
+                    shifts[:, self._idx["pg_r"]],
+                )
+            )
+            psh = np.stack(
+                (shifts[:, self._idx["pu_l"]], shifts[:, self._idx["pu_r"]])
+            )
+            return _FusedCtx(nsh, psh)
+        tables = self._ensure_tables(shifts)
+        offsets = np.stack(
+            (
+                -np.concatenate(
+                    [shifts[:, self._idx["pd_l"]], shifts[:, self._idx["pd_r"]]]
+                ),
+                -np.concatenate(
+                    [shifts[:, self._idx["pg_l"]], shifts[:, self._idx["pg_r"]]]
+                ),
+                np.concatenate(
+                    [shifts[:, self._idx["pu_l"]], shifts[:, self._idx["pu_r"]]]
+                ),
+            )
+        )
+        return _TabCtx(tables, offsets)
+
+    def _ensure_tables(self, shifts: np.ndarray) -> IVTables:
+        """Return I-V tables whose gate axes cover this shift batch."""
+        max_shift = float(np.max(np.abs(shifts))) if shifts.size else 0.0
+        if self._tables is None or not self._tables.covers(max_shift):
+            self._tables = IVTables(
+                self.design,
+                self.vdd,
+                shift_pad_v=_TABLE_PAD_HEADROOM * max_shift,
+                points=self._table_points,
+                clamp_margin_v=_CLAMP_MARGIN_V,
+            )
+            get_registry().counter("characterize.kernel.table_builds").inc()
+        return self._tables
+
+    def _ee_margin_for(self, shifts: np.ndarray) -> float:
+        """Early-exit margin [V] for a batch (see module constants)."""
+        if self._ee_margin is not None:
+            return self._ee_margin
+        max_shift = float(np.max(np.abs(shifts))) if shifts.size else 0.0
+        return max(
+            _EARLY_EXIT_MARGIN_FRAC * self.vdd,
+            _EARLY_EXIT_SHIFT_FACTOR * max_shift,
+        )
+
+    def _relax(
+        self, vq, vqb, ctx, steps: int, dt_s: float, margin: float
+    ) -> np.ndarray:
+        """Free relaxation for ``steps``; returns the flip mask.
+
+        With ``early_exit`` enabled, trajectories whose separation has
+        regeneratively latched are frozen at the checkpoints and the
+        live batch is compacted; outcomes equal the full-horizon run.
+        """
+        if not self.early_exit:
+            for _ in range(steps):
+                vq, vqb = self._step(vq, vqb, ctx, dt_s)
+            return vq < vqb
+
+        n = vq.shape[0]
+        outcome = np.zeros(n, dtype=bool)
+        active = np.arange(n)
+        s_prev = vq - vqb
+        done = 0
+        frozen_total = 0
+        saved_total = 0
+        while done < steps and active.size:
+            span = min(self._ee_every, steps - done)
+            for _ in range(span):
+                vq, vqb = self._step(vq, vqb, ctx, dt_s)
+            done += span
+            s = vq - vqb
+            # decided: beyond the margin with a stable sign at two
+            # consecutive checkpoints (overshoot past the rails relaxes
+            # |s| back toward Vdd, so "still growing" is NOT required)
+            decided = (
+                (np.abs(s) > margin)
+                & (np.abs(s_prev) > margin)
+                & (s * s_prev > 0.0)
+            )
+            if decided.any():
+                outcome[active[decided]] = s[decided] < 0.0
+                n_dec = int(decided.sum())
+                frozen_total += n_dec
+                saved_total += n_dec * (steps - done)
+                keep = ~decided
+                active = active[keep]
+                vq = vq[keep]
+                vqb = vqb[keep]
+                s = s[keep]
+                ctx = ctx.take(keep)
+            s_prev = s
+        if active.size:
+            outcome[active] = vq < vqb
+        reg = get_registry()
+        if reg.enabled and frozen_total:
+            reg.counter("characterize.kernel.early_exit.frozen").inc(
+                frozen_total
+            )
+            reg.counter("characterize.kernel.early_exit.steps_saved").inc(
+                saved_total
+            )
+        return outcome
+
+    def _count_run(self):
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(f"characterize.kernel.runs.{self.kernel}").inc()
 
     def settle(
         self,
@@ -113,12 +455,13 @@ class FastCell:
         """Relax from the ideal (Vdd, 0) state to the leakage-balanced
         hold point of each variation sample."""
         shifts = self._check_shifts(shifts)
+        ctx = self._make_ctx(shifts)
         n = shifts.shape[0]
         vq = np.full(n, self.vdd, dtype=np.float64)
         vqb = np.zeros(n, dtype=np.float64)
         steps = max(int(round(t_settle_s / dt_s)), 1)
         for _ in range(steps):
-            vq, vqb = self._rk4_step(vq, vqb, shifts, dt_s)
+            vq, vqb = self._step(vq, vqb, ctx, dt_s)
         return vq, vqb
 
     # -- strike experiments ------------------------------------------------------
@@ -145,6 +488,7 @@ class FastCell:
         """
         charges = self._check_charges(charges_c)
         shifts = self._check_shifts(shifts, charges.shape[0])
+        self._count_run()
         if settled is None:
             vq, vqb = self.settle(shifts)
         else:
@@ -156,9 +500,10 @@ class FastCell:
         vqb = self._clamp(vqb + (charges[:, 1] + charges[:, 2]) / self.cap_f)
 
         steps = max(int(round(t_sim_s / dt_s)), 1)
-        for _ in range(steps):
-            vq, vqb = self._rk4_step(vq, vqb, shifts, dt_s)
-        return vq < vqb
+        return self._relax(
+            vq, vqb, self._make_ctx(shifts), steps, dt_s,
+            self._ee_margin_for(shifts),
+        )
 
     def run_pulse(
         self,
@@ -179,6 +524,8 @@ class FastCell:
             raise ConfigError("pulse width must be positive")
         charges = self._check_charges(charges_c)
         shifts = self._check_shifts(shifts, charges.shape[0])
+        self._count_run()
+        ctx = self._make_ctx(shifts)
         if settled is None:
             vq, vqb = self.settle(shifts)
         else:
@@ -189,17 +536,19 @@ class FastCell:
         amp_qb = (charges[:, 1] + charges[:, 2]) / pulse_width_s
 
         # Phase 1: during the pulse, with >= 20 sub-steps across it.
+        # (No early exit here: the injected currents can still reverse
+        # a separation that looks decided.)
         pulse_dt = min(dt_s, pulse_width_s / 20.0)
         pulse_steps = max(int(round(pulse_width_s / pulse_dt)), 1)
         for _ in range(pulse_steps):
-            vq, vqb = self._rk4_step(
-                vq, vqb, shifts, pulse_dt, extra_q=amp_q, extra_qb=amp_qb
+            vq, vqb = self._step(
+                vq, vqb, ctx, pulse_dt, extra_q=amp_q, extra_qb=amp_qb
             )
         # Phase 2: free relaxation.
         steps = max(int(round(t_sim_s / dt_s)), 1)
-        for _ in range(steps):
-            vq, vqb = self._rk4_step(vq, vqb, shifts, dt_s)
-        return vq < vqb
+        return self._relax(
+            vq, vqb, ctx, steps, dt_s, self._ee_margin_for(shifts)
+        )
 
     def critical_charge_c(
         self,

@@ -223,6 +223,9 @@ class ElectronYieldLUT:
                 label="yield_lut",
                 retry=retry,
                 journal=journal,
+                # ~2 us per transport trial: lets tiny builds skip
+                # pool spin-up (measured slower than inline)
+                cost_hint_s=2.0e-6 * sum(shard_sizes) / len(shard_sizes),
             )
             lost = sum(1 for shard in shard_results if shard is None)
             for i in range(len(energies)):

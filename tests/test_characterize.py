@@ -66,6 +66,102 @@ class TestConfig:
         assert len(config.axis_for_combo((0, 1))) == 7
 
 
+class TestKernelEquivalence:
+    """End-to-end contracts of the cell-kernel rework: fused stacking,
+    settle hoisting, batch chunking and early exit reproduce the seed
+    exact pipeline bit-identically; the tabulated backend stays within
+    its POF accuracy budget."""
+
+    BASE = dict(
+        vdd_list=(0.7,),
+        n_charge_points=7,
+        n_samples=6,
+        max_pair_points=3,
+        max_triple_points=3,
+        seed=11,
+    )
+
+    @classmethod
+    def _run(cls, design, **overrides):
+        return characterize_cell(
+            design, CharacterizationConfig(**cls.BASE, **overrides)
+        )
+
+    @pytest.fixture(scope="class")
+    def seed_table(self, design):
+        return self._run(
+            design, kernel="exact", early_exit=False, hoist_settle=False
+        )
+
+    @staticmethod
+    def _assert_identical(a, b):
+        for combo in a.pof:
+            assert np.array_equal(a.pof[combo], b.pof[combo])
+
+    def test_fused_bit_identical(self, design, seed_table):
+        fused = self._run(
+            design, kernel="fused", early_exit=False, hoist_settle=False
+        )
+        self._assert_identical(fused, seed_table)
+
+    def test_hoisted_settle_bit_identical(self, design, seed_table):
+        hoisted = self._run(
+            design, kernel="exact", early_exit=False, hoist_settle=True
+        )
+        self._assert_identical(hoisted, seed_table)
+
+    def test_chunked_bit_identical(self, design, seed_table):
+        chunked = self._run(
+            design,
+            kernel="exact",
+            early_exit=False,
+            hoist_settle=False,
+            max_batch=10,  # forces one grid point per chunk (6 samples)
+        )
+        self._assert_identical(chunked, seed_table)
+
+    def test_early_exit_bit_identical(self, design, seed_table):
+        early = self._run(
+            design, kernel="fused", early_exit=True, hoist_settle=False
+        )
+        self._assert_identical(early, seed_table)
+
+    def test_tabulated_within_budget(self, design, seed_table):
+        tabulated = self._run(design)  # the defaults: tabulated + all opts
+        for combo in seed_table.pof:
+            dev = np.max(
+                np.abs(tabulated.pof[combo] - seed_table.pof[combo])
+            )
+            assert dev <= 0.01, f"combo {combo}: |dPOF| {dev:.4f}"
+
+    def test_kernel_config_validation(self):
+        with pytest.raises(ConfigError):
+            CharacterizationConfig(kernel="magic")
+        with pytest.raises(ConfigError):
+            CharacterizationConfig(early_exit_margin_v=0.0)
+        with pytest.raises(ConfigError):
+            CharacterizationConfig(table_points=4)
+        with pytest.raises(ConfigError):
+            CharacterizationConfig(max_batch=0)
+
+    def test_kernel_metrics_recorded(self, design):
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            self._run(design)
+            runs = registry.counter("characterize.kernel.runs.tabulated")
+            builds = registry.counter("characterize.kernel.table_builds")
+            frozen = registry.counter(
+                "characterize.kernel.early_exit.frozen"
+            )
+            assert runs.value > 0
+            assert builds.value >= 1
+            assert frozen.value > 0
+        finally:
+            disable_metrics()
+
+
 class TestPofTableStructure:
     def test_all_combos_present(self, table):
         assert set(table.pof) == set(ALL_COMBOS)

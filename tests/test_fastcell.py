@@ -127,6 +127,235 @@ class TestCriticalCharge:
             cell.critical_charge_c(np.array([0.0, 0.0, 0.0]), ZERO_SHIFTS)
 
 
+def _variation_batch(n=24, sigma=0.05, seed=7):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, 6)) * sigma
+
+
+def _boundary_charges(design, vdd, n=24, lo=0.3, hi=2.5, seed=9):
+    """Charge batch straddling the flip boundary, one row per sample."""
+    qcrit = nominal_critical_charge_c(design, vdd)
+    rng = np.random.default_rng(seed)
+    charges = np.zeros((n, 3))
+    charges[:, 0] = qcrit * np.exp(
+        rng.uniform(np.log(lo), np.log(hi), size=n)
+    )
+    return charges
+
+
+class TestFusedKernel:
+    """The fused two-call kernel must be bit-identical to the exact
+    per-role reference -- the model is elementwise, so stacking rows
+    can only change the Python-call count."""
+
+    @pytest.fixture(scope="class")
+    def pair(self, design):
+        return (
+            FastCell(design, 0.8, kernel="exact"),
+            FastCell(design, 0.8, kernel="fused"),
+        )
+
+    def test_settle_bit_identical(self, pair):
+        exact, fused = pair
+        shifts = _variation_batch()
+        vq_e, vqb_e = exact.settle(shifts)
+        vq_f, vqb_f = fused.settle(shifts)
+        assert np.array_equal(vq_e, vq_f)
+        assert np.array_equal(vqb_e, vqb_f)
+
+    def test_impulse_bit_identical(self, pair, design):
+        exact, fused = pair
+        shifts = _variation_batch()
+        charges = _boundary_charges(design, 0.8)
+        assert np.array_equal(
+            exact.run_impulse(charges, shifts),
+            fused.run_impulse(charges, shifts),
+        )
+
+    def test_pulse_bit_identical(self, pair, design):
+        exact, fused = pair
+        shifts = _variation_batch(n=8)
+        charges = _boundary_charges(design, 0.8, n=8)
+        for width in (17e-15, 2e-12):
+            assert np.array_equal(
+                exact.run_pulse(charges, shifts, pulse_width_s=width),
+                fused.run_pulse(charges, shifts, pulse_width_s=width),
+            )
+
+    def test_critical_charge_bit_identical(self, pair):
+        exact, fused = pair
+        shifts = _variation_batch(n=12)
+        direction = np.array([1.0, 0.0, 0.0])
+        assert np.array_equal(
+            exact.critical_charge_c(direction, shifts),
+            fused.critical_charge_c(direction, shifts),
+        )
+
+
+class TestTabulatedKernel:
+    """The bilinear I-V backend is approximate; its contract is the
+    documented accuracy budget, not bit-identity."""
+
+    def test_critical_charge_within_budget(self, design):
+        exact = FastCell(design, 0.8, kernel="exact")
+        tab = FastCell(design, 0.8, kernel="tabulated")
+        shifts = _variation_batch(n=12)
+        direction = np.array([1.0, 0.0, 0.0])
+        q_e = exact.critical_charge_c(direction, shifts)
+        q_t = tab.critical_charge_c(direction, shifts)
+        # measured boundary shift at the default table resolution is
+        # ~1.5e-4 in log charge; 5e-3 relative is a comfortable ceiling
+        np.testing.assert_allclose(q_t, q_e, rtol=5e-3)
+
+    def test_flips_agree_away_from_boundary(self, design):
+        exact = FastCell(design, 0.8, kernel="exact")
+        tab = FastCell(design, 0.8, kernel="tabulated")
+        shifts = _variation_batch(n=16)
+        qcrit = nominal_critical_charge_c(design, 0.8)
+        for factor in (0.5, 2.0):
+            charges = np.zeros((16, 3))
+            charges[:, 0] = factor * qcrit
+            assert np.array_equal(
+                exact.run_impulse(charges, shifts),
+                tab.run_impulse(charges, shifts),
+            )
+
+    def test_tables_built_once_and_shared(self, design):
+        from repro.sram import IVTables
+
+        tables = IVTables(design, 0.8, shift_pad_v=0.3)
+        cell = FastCell(design, 0.8, kernel="tabulated", tables=tables)
+        cell.run_impulse(np.zeros((2, 3)), np.zeros((2, 6)))
+        assert cell._tables is tables  # covered batch: no rebuild
+
+    def test_tables_rebuilt_when_shifts_exceed_pad(self, design):
+        from repro.sram import IVTables
+
+        tables = IVTables(design, 0.8, shift_pad_v=0.01)
+        cell = FastCell(design, 0.8, kernel="tabulated", tables=tables)
+        big = np.full((2, 6), 0.2)
+        cell.run_impulse(np.zeros((2, 3)), big)
+        assert cell._tables is not tables
+        assert cell._tables.covers(0.2)
+
+    def test_tables_must_match_vdd(self, design):
+        from repro.sram import IVTables
+
+        tables = IVTables(design, 0.8)
+        with pytest.raises(ConfigError):
+            FastCell(design, 0.9, kernel="tabulated", tables=tables)
+
+    def test_tables_require_tabulated_kernel(self, design):
+        from repro.sram import IVTables
+
+        tables = IVTables(design, 0.8)
+        with pytest.raises(ConfigError):
+            FastCell(design, 0.8, kernel="fused", tables=tables)
+
+    def test_unknown_kernel_rejected(self, design):
+        with pytest.raises(ConfigError):
+            FastCell(design, 0.8, kernel="magic")
+
+    def test_table_validation(self, design):
+        from repro.sram import IVTables
+
+        with pytest.raises(ConfigError):
+            IVTables(design, -0.8)
+        with pytest.raises(ConfigError):
+            IVTables(design, 0.8, points=4)
+        with pytest.raises(ConfigError):
+            IVTables(design, 0.8, shift_pad_v=-0.1)
+
+    def test_pickle_round_trip(self, design):
+        import pickle
+
+        from repro.sram import IVTables
+
+        tables = IVTables(design, 0.8, points=65)
+        clone = pickle.loads(pickle.dumps(tables))
+        u = np.linspace(-0.2, 1.0, 7)
+        w = np.stack([u, u * 0.5, u - 0.1])
+        assert np.array_equal(
+            tables.currents_stacked(u, w), clone.currents_stacked(u, w)
+        )
+
+
+class TestEarlyExit:
+    """Freezing latched trajectories must not change any outcome."""
+
+    def test_impulse_matches_full_horizon(self, design):
+        full = FastCell(design, 0.8, kernel="fused")
+        ee = FastCell(design, 0.8, kernel="fused", early_exit=True)
+        shifts = _variation_batch(n=48)
+        charges = _boundary_charges(design, 0.8, n=48)
+        assert np.array_equal(
+            full.run_impulse(charges, shifts),
+            ee.run_impulse(charges, shifts),
+        )
+
+    def test_pulse_matches_full_horizon(self, design):
+        full = FastCell(design, 0.8, kernel="fused")
+        ee = FastCell(design, 0.8, kernel="fused", early_exit=True)
+        shifts = _variation_batch(n=16)
+        charges = _boundary_charges(design, 0.8, n=16)
+        assert np.array_equal(
+            full.run_pulse(charges, shifts, pulse_width_s=2e-12),
+            ee.run_pulse(charges, shifts, pulse_width_s=2e-12),
+        )
+
+    def test_critical_charge_matches_full_horizon(self, design):
+        full = FastCell(design, 0.8, kernel="fused")
+        ee = FastCell(design, 0.8, kernel="fused", early_exit=True)
+        shifts = _variation_batch(n=12)
+        direction = np.array([0.0, 1.0, 0.0])
+        assert np.array_equal(
+            full.critical_charge_c(direction, shifts),
+            ee.critical_charge_c(direction, shifts),
+        )
+
+    def test_explicit_margin_matches_full_horizon(self, design):
+        full = FastCell(design, 0.8, kernel="fused")
+        ee = FastCell(
+            design, 0.8, kernel="fused", early_exit=True,
+            early_exit_margin_v=0.55, early_exit_check_every=4,
+        )
+        shifts = _variation_batch(n=32)
+        charges = _boundary_charges(design, 0.8, n=32)
+        assert np.array_equal(
+            full.run_impulse(charges, shifts),
+            ee.run_impulse(charges, shifts),
+        )
+
+    def test_validation(self, design):
+        with pytest.raises(ConfigError):
+            FastCell(design, 0.8, early_exit=True, early_exit_margin_v=0.0)
+        with pytest.raises(ConfigError):
+            FastCell(design, 0.8, early_exit=True, early_exit_check_every=0)
+
+    def test_actually_freezes(self, design):
+        """Decisive charges must be frozen before the full horizon (the
+        point of the optimization); verified through the metrics."""
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            ee = FastCell(design, 0.8, kernel="fused", early_exit=True)
+            qcrit = nominal_critical_charge_c(design, 0.8)
+            charges = np.zeros((8, 3))
+            charges[:, 0] = np.linspace(0.1, 4.0, 8) * qcrit
+            ee.run_impulse(charges, np.zeros((8, 6)))
+            frozen = registry.counter(
+                "characterize.kernel.early_exit.frozen"
+            ).value
+            saved = registry.counter(
+                "characterize.kernel.early_exit.steps_saved"
+            ).value
+            assert frozen > 0
+            assert saved > 0
+        finally:
+            disable_metrics()
+
+
 class TestAgreementWithMnaEngine:
     """The fast model and the full SPICE-substitute must agree on the
     flip boundary -- they share the same device equations."""

@@ -368,3 +368,78 @@ def _counting_task(payload, task):
 
     get_registry().counter("test.work_items").inc()
     return task
+
+
+# -- auto-inline heuristic -----------------------------------------------------
+
+
+class TestAutoInline:
+    """parallel_map skips pool spin-up when an explicit cost hint says
+    the whole map is cheaper than forking workers; results are
+    identical either way (the determinism contract is orthogonal to
+    where tasks run)."""
+
+    def test_tiny_hint_runs_inline(self):
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            results = parallel_map(
+                _square_task, list(range(6)), n_jobs=2, cost_hint_s=1e-6
+            )
+            assert results == [i * i for i in range(6)]
+            assert registry.counter("parallel.auto_inline").value == 1
+            assert registry.counter("parallel.serial_maps").value == 1
+            assert registry.gauge("parallel.workers").value == 0.0
+        finally:
+            disable_metrics()
+
+    def test_large_hint_stays_pooled(self):
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            parallel_map(
+                _square_task, list(range(6)), n_jobs=2, cost_hint_s=10.0
+            )
+            assert registry.counter("parallel.auto_inline").value == 0
+            assert registry.gauge("parallel.workers").value == 2
+        finally:
+            disable_metrics()
+
+    def test_no_hint_stays_pooled(self):
+        from repro.obs.registry import disable_metrics, enable_metrics
+
+        registry = enable_metrics(fresh=True)
+        try:
+            parallel_map(_square_task, list(range(6)), n_jobs=2)
+            assert registry.counter("parallel.auto_inline").value == 0
+            assert registry.gauge("parallel.workers").value == 2
+        finally:
+            disable_metrics()
+
+    def test_disabled_under_fault_injection(self, monkeypatch, tmp_path):
+        """The kill-hook environment must force real workers, so fault
+        drills exercise the pool they intend to (a non-matching spec
+        injects nothing but still disables the shortcut)."""
+        from repro.obs.registry import disable_metrics, enable_metrics
+        from repro.parallel.engine import FAULT_ENV
+
+        monkeypatch.setenv(
+            FAULT_ENV, f"some-other-label:0:{tmp_path}/marker"
+        )
+        registry = enable_metrics(fresh=True)
+        try:
+            results = parallel_map(
+                _square_task, list(range(6)), n_jobs=2, cost_hint_s=1e-6
+            )
+            assert results == [i * i for i in range(6)]
+            assert registry.counter("parallel.auto_inline").value == 0
+            assert registry.gauge("parallel.workers").value == 2
+        finally:
+            disable_metrics()
+
+    def test_threshold_exported(self):
+        from repro.parallel import AUTO_INLINE_THRESHOLD_S
+
+        assert AUTO_INLINE_THRESHOLD_S > 0
