@@ -22,6 +22,13 @@ fault-tolerance knobs (see ``docs/robustness.md``):
 * ``--resume/--no-resume`` -- checkpoint completed shards under the
   cache dir and resume interrupted campaigns bit-identically.
 
+the execution-engine knobs (see ``docs/performance.md``):
+
+* ``--no-warm-pool`` -- disable warm pool leasing (one throwaway pool
+  per Monte Carlo map).
+* ``--no-shm``       -- disable the shared-memory payload plane (bulk
+  arrays pickle inline with every map).
+
 plus the observability flags (see ``docs/observability.md``):
 
 * ``--log-level {debug,info,warning,error}`` -- diagnostic logging to
@@ -119,6 +126,25 @@ def _add_jobs(parser):
         help="checkpoint completed Monte Carlo shards under the cache "
         "dir and resume interrupted campaigns bit-identically "
         "(default: on; --no-resume disables checkpointing)",
+    )
+    engine = parser.add_argument_group("execution engine")
+    engine.add_argument(
+        "--no-warm-pool",
+        dest="warm_pool",
+        action="store_false",
+        default=True,
+        help="build and tear down a worker pool per Monte Carlo map "
+        "instead of leasing warm pools across the run (results are "
+        "identical either way)",
+    )
+    engine.add_argument(
+        "--no-shm",
+        dest="shm",
+        action="store_false",
+        default=True,
+        help="ship bulk payload arrays inline with each map instead "
+        "of through shared-memory segments (results are identical "
+        "either way)",
     )
 
 
@@ -227,6 +253,8 @@ def _make_flow(args, vdd_list=None):
         n_jobs=getattr(args, "jobs", 1),
         retry=_retry_policy(args),
         resume=getattr(args, "resume", True),
+        warm_pool=getattr(args, "warm_pool", None),
+        shm=getattr(args, "shm", None),
     )
 
 

@@ -28,7 +28,14 @@ from ..errors import ConfigError
 from ..io import ArtifactCache
 from ..layout import CellLayout, SramArrayLayout
 from ..obs import get_logger, get_registry, kv, span
-from ..parallel import RetryPolicy, ShardJournal, parallel_map
+from ..parallel import (
+    RetryPolicy,
+    ShardJournal,
+    pack_payload,
+    parallel_map,
+    resolve_jobs,
+    shm_enabled,
+)
 from ..physics import get_particle, spectrum_for
 from ..sram import (
     CharacterizationConfig,
@@ -135,13 +142,19 @@ class FlowConfig:
 
 
 def _flow_campaign_task(payload, task):
-    """Pool worker: one array-MC campaign of a flow-level scan."""
-    energy_mev, seed = task
+    """Pool worker: one array-MC campaign of a flow-level scan.
+
+    The payload holds only the (scan-invariant) simulator; everything
+    that varies per scan -- particle, vdd, budget -- rides in the task
+    tuple, so every map of a sweep ships the *same* payload and warm
+    workers reuse the one they already rebuilt.
+    """
+    particle_name, vdd_v, n_particles, energy_mev, seed = task
     return payload["simulator"].run(
-        payload["particle"],
+        get_particle(particle_name),
         float(energy_mev),
-        payload["vdd_v"],
-        payload["n_particles"],
+        float(vdd_v),
+        int(n_particles),
         np.random.default_rng(seed),
     )
 
@@ -160,6 +173,15 @@ class SerFlow:
     and ``resume`` (on by default, needs a ``cache_dir``) checkpoints
     every campaign into a :class:`~repro.parallel.ShardJournal` so an
     interrupted run resumes bit-identically.
+
+    ``warm_pool`` / ``shm`` (``None`` = process defaults, normally on)
+    control pool leasing and the shared-memory payload plane of
+    :mod:`repro.parallel` across every stage: the flow's hundreds of
+    campaigns then reuse warm workers and ship their static inputs
+    (layout boxes, POF grids, yield LUTs) once instead of per map.
+    Execution knobs like ``n_jobs`` -- results are bit-identical
+    either way, so they live outside :class:`FlowConfig` and never
+    perturb cache keys.
     """
 
     def __init__(
@@ -170,6 +192,8 @@ class SerFlow:
         n_jobs: int = 1,
         retry: Optional[RetryPolicy] = None,
         resume: bool = True,
+        warm_pool: Optional[bool] = None,
+        shm: Optional[bool] = None,
     ):
         self.config = config if config is not None else FlowConfig()
         self.design = design if design is not None else SramCellDesign()
@@ -177,10 +201,13 @@ class SerFlow:
         self.n_jobs = n_jobs
         self.retry = retry
         self.resume = resume
+        self.warm_pool = warm_pool
+        self.shm = shm
         self._yield_luts: Optional[Dict[str, ElectronYieldLUT]] = None
         self._pof_table: Optional[PofTable] = None
         self._layout: Optional[SramArrayLayout] = None
         self._simulator: Optional[ArraySerSimulator] = None
+        self._campaign_packs: Dict[bool, object] = {}
 
     def _journal_for(self, name: str, encode, decode, *config_objects):
         """A shard journal under the cache dir, or ``None``.
@@ -282,6 +309,8 @@ class SerFlow:
                     n_jobs=self.n_jobs,
                     retry=self.retry,
                     journal=journal,
+                    warm_pool=self.warm_pool,
+                    shm=self.shm,
                 )
 
             if self.cache is not None:
@@ -313,6 +342,8 @@ class SerFlow:
                     n_jobs=self.n_jobs,
                     retry=self.retry,
                     journal=journal,
+                    warm_pool=self.warm_pool,
+                    shm=self.shm,
                 )
 
             with span(
@@ -363,6 +394,8 @@ class SerFlow:
                     deposition_mode=self.config.deposition_mode,
                     margin_nm=self.config.margin_nm,
                     n_jobs=self.n_jobs,
+                    warm_pool=self.warm_pool,
+                    shm=self.shm,
                 ),
             )
         return self._simulator
@@ -388,6 +421,29 @@ class SerFlow:
                 "pof-vs-energy", particle, vdd_v, energies, n
             )
 
+    def _campaign_payload(self):
+        """The campaign fan-out payload, packed once per (flow, shm mode).
+
+        Every flow-level scan ships the same simulator, so the flow
+        pre-packs it a single time (see
+        :class:`~repro.parallel.shm.PackedPayload`): repeat fan-outs
+        skip per-map pickling entirely, warm workers recognize the
+        fingerprint and keep the payload they already rebuilt
+        (interpolator caches included), and per-task IPC shrinks to
+        shared-memory references.  Inline execution (``n_jobs <= 1``)
+        has no transport cost, so it keeps the plain dict.
+        """
+        if resolve_jobs(self.n_jobs) <= 1:
+            return {"simulator": self.simulator()}
+        use_shm = shm_enabled(self.shm)
+        packed = self._campaign_packs.get(use_shm)
+        if packed is None:
+            packed = pack_payload(
+                {"simulator": self.simulator()}, use_shm=use_shm
+            )
+            self._campaign_packs[use_shm] = packed
+        return packed
+
     def _run_campaigns(self, stage, particle, vdd_v, energies, n_particles):
         """Independent array-MC campaigns, one per energy, fanned out.
 
@@ -407,6 +463,9 @@ class SerFlow:
         """
         tasks = [
             (
+                particle.name,
+                vdd_v,
+                n_particles,
                 energy,
                 self._campaign_seed(
                     stage, particle.name, f"{vdd_v:g}", f"{energy:.9g}"
@@ -431,16 +490,13 @@ class SerFlow:
         results = parallel_map(
             _flow_campaign_task,
             tasks,
-            payload={
-                "simulator": self.simulator(),
-                "particle": particle,
-                "vdd_v": vdd_v,
-                "n_particles": n_particles,
-            },
+            payload=self._campaign_payload(),
             n_jobs=self.n_jobs,
             label="flow_campaigns",
             retry=self.retry.strict() if self.retry is not None else None,
             journal=journal,
+            warm_pool=self.warm_pool,
+            shm=self.shm,
         )
         if journal is not None:
             journal.clear()

@@ -8,7 +8,8 @@ counts, rays/sec throughput), how trustworthy the numbers are
 writes one; :func:`RunManifest.from_dict` round-trips it.
 
 Convenience sections (``stage_timings_s``, ``mc``, ``lut_cache``,
-``convergence``) are *derived* from the full metrics snapshot kept in
+``convergence``, ``fault_tolerance``, ``parallel``) are *derived*
+from the full metrics snapshot kept in
 ``metrics`` — the snapshot is the ground truth, the sections are what
 a human greps for first.
 """
@@ -54,6 +55,7 @@ class RunManifest:
     lut_cache: dict = field(default_factory=dict)
     convergence: dict = field(default_factory=dict)
     fault_tolerance: dict = field(default_factory=dict)
+    parallel: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -74,6 +76,7 @@ class RunManifest:
             "lut_cache": self.lut_cache,
             "convergence": self.convergence,
             "fault_tolerance": self.fault_tolerance,
+            "parallel": self.parallel,
             "metrics": self.metrics,
         }
 
@@ -117,6 +120,7 @@ class RunManifest:
             lut_cache=dict(payload.get("lut_cache", {})),
             convergence=dict(payload.get("convergence", {})),
             fault_tolerance=dict(payload.get("fault_tolerance", {})),
+            parallel=dict(payload.get("parallel", {})),
             metrics=dict(payload.get("metrics", {})),
         )
 
@@ -207,6 +211,16 @@ def build_manifest(
         "journal_resumed": counters.get("journal.resumed", 0),
         "journal_invalid": counters.get("journal.invalid", 0),
     }
+    parallel = {
+        "pools_created": counters.get("parallel.pool.created", 0),
+        "pools_reused": counters.get("parallel.pool.reused", 0),
+        "pools_invalidated": counters.get("parallel.pool.invalidated", 0),
+        "shm_segments": counters.get("parallel.shm.segments", 0),
+        "shm_bytes": counters.get("parallel.shm.bytes", 0),
+        "shm_dedup_hits": counters.get("parallel.shm.hits", 0),
+        "shm_fallbacks": counters.get("parallel.shm.fallback", 0),
+        "worker_payload_hits": counters.get("parallel.shm.payload_hits", 0),
+    }
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -221,5 +235,6 @@ def build_manifest(
         lut_cache=lut_cache,
         convergence=convergence,
         fault_tolerance=fault_tolerance,
+        parallel=parallel,
         metrics=snapshot,
     )

@@ -76,13 +76,16 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigError, TaskError, WorkerCrashError
-from ..obs import get_logger, get_registry, kv
-from ..obs.registry import enable_metrics
+from ..obs import get_logger, get_registry, kv, span
+from ..obs.registry import disable_metrics, enable_metrics
+from .pool import get_lease, warm_pool_enabled
+from .shm import PackedPayload, load_packed, pack_payload, shm_enabled
 
 _log = get_logger(__name__)
 
 __all__ = [
     "AUTO_INLINE_THRESHOLD_S",
+    "WARM_AUTO_INLINE_THRESHOLD_S",
     "ParallelConfig",
     "RetryPolicy",
     "parallel_map",
@@ -232,6 +235,10 @@ _PENDING = object()
 
 def _worker_init(payload, with_metrics: bool):
     global _WORKER_PAYLOAD
+    if isinstance(payload, PackedPayload):
+        # caller-prepacked payload on a fresh (throwaway) pool: rebuild
+        # it here once, exactly like the historical broadcast.
+        payload = load_packed(payload)
     _WORKER_PAYLOAD = payload
     if with_metrics:
         # fresh registry per worker: task snapshots only carry
@@ -239,9 +246,15 @@ def _worker_init(payload, with_metrics: bool):
         enable_metrics(fresh=True)
 
 
-def _maybe_inject_fault(label: str, index: int):
-    """Honor the :data:`FAULT_ENV` test hook (abrupt one-shot death)."""
-    spec = os.environ.get(FAULT_ENV)
+def _maybe_inject_fault(label: str, index: int, spec: Optional[str] = None):
+    """Honor the :data:`FAULT_ENV` test hook (abrupt one-shot death).
+
+    ``spec`` overrides the environment lookup: warm pool workers fork
+    *before* a test arms the hook, so the parent captures the spec at
+    submit time and ships it with the task.
+    """
+    if spec is None:
+        spec = os.environ.get(FAULT_ENV)
     if not spec:
         return
     try:
@@ -264,6 +277,57 @@ def _invoke(fn, task, index: int, label: str):
     _maybe_inject_fault(label, index)
     t0 = time.perf_counter()
     result = fn(_WORKER_PAYLOAD, task)
+    busy_s = time.perf_counter() - t0
+    registry = get_registry()
+    snapshot = None
+    if registry.enabled:
+        snapshot = registry.snapshot()
+        registry.reset()
+    return result, snapshot, busy_s
+
+
+def _warm_worker_init():
+    """Initializer of *warm* pool workers: no payload, no metrics.
+
+    Warm workers outlive the map that forked them, so nothing shipped
+    at fork time can be trusted later: the payload travels per task as
+    a :class:`~repro.parallel.shm.PackedPayload` (cached by
+    fingerprint) and the metrics flag per task (the parent may enable
+    or disable the registry between maps).  Under ``fork`` the worker
+    inherits the parent's live registry state -- drop it so snapshots
+    only ever carry worker-side increments.
+    """
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = None
+    disable_metrics()
+
+
+def _sync_warm_metrics(with_metrics: bool):
+    """Match the worker's registry state to the parent's (per task)."""
+    if with_metrics:
+        if not get_registry().enabled:
+            enable_metrics(fresh=True)
+    elif get_registry().enabled:
+        disable_metrics()
+
+
+def _invoke_packed(
+    fn, task, index: int, label: str, packed, with_metrics, fault_spec=None
+):
+    """Warm-pool counterpart of :func:`_invoke`.
+
+    The payload arrives packed (pickled once in the parent, bulk
+    arrays as shared-memory references) and is rebuilt at most once
+    per fingerprint per worker; busy time still covers only ``fn``
+    itself, matching the fresh-pool accounting.  ``fault_spec`` is the
+    parent's :data:`FAULT_ENV` value at submit time (a warm worker's
+    own environment predates the test arming the hook).
+    """
+    _sync_warm_metrics(with_metrics)
+    _maybe_inject_fault(label, index, spec=fault_spec)
+    payload = load_packed(packed)
+    t0 = time.perf_counter()
+    result = fn(payload, task)
     busy_s = time.perf_counter() - t0
     registry = get_registry()
     snapshot = None
@@ -299,9 +363,18 @@ def _shutdown_executor(executor: ProcessPoolExecutor):
 #: workers than inline).
 AUTO_INLINE_THRESHOLD_S = 0.05
 
+#: Lower inline threshold used when a warm pool for the map's
+#: (start method, jobs) key is already up: the spin-up cost is paid,
+#: so only dispatch/IPC overhead (single-digit milliseconds) remains
+#: to beat.
+WARM_AUTO_INLINE_THRESHOLD_S = 0.005
+
 
 def _should_auto_inline(
-    cost_hint_s: Optional[float], n_pending: int, jobs: int
+    cost_hint_s: Optional[float],
+    n_pending: int,
+    jobs: int,
+    warm_ready: bool = False,
 ) -> bool:
     """Whether the estimated work is too small to justify a pool.
 
@@ -309,11 +382,17 @@ def _should_auto_inline(
     (no hint means no basis for the estimate -- maps without a hint
     keep their requested worker count) and never while the
     fault-injection hook is armed (the kill tests target pooled
-    workers by shard index).
+    workers by shard index).  With a warm pool already leased for this
+    map's key (``warm_ready``), the threshold drops to
+    :data:`WARM_AUTO_INLINE_THRESHOLD_S` -- spin-up is already paid,
+    so mid-sized maps that used to inline now reuse the pool.
     """
     if cost_hint_s is None or os.environ.get(FAULT_ENV):
         return False
-    return cost_hint_s * n_pending / jobs < AUTO_INLINE_THRESHOLD_S
+    threshold = (
+        WARM_AUTO_INLINE_THRESHOLD_S if warm_ready else AUTO_INLINE_THRESHOLD_S
+    )
+    return cost_hint_s * n_pending / jobs < threshold
 
 
 def parallel_map(
@@ -327,6 +406,8 @@ def parallel_map(
     retry: Optional[RetryPolicy] = None,
     journal=None,
     cost_hint_s: Optional[float] = None,
+    warm_pool: Optional[bool] = None,
+    shm: Optional[bool] = None,
 ) -> list:
     """Ordered map of ``fn(payload, task)`` over ``tasks``.
 
@@ -338,6 +419,12 @@ def parallel_map(
 
     Parameters
     ----------
+    payload:
+        Shared read-only object passed as ``fn``'s first argument.
+        May be a :class:`~repro.parallel.shm.PackedPayload` the caller
+        packed once (e.g. a flow fanning the same simulator across
+        many maps): the warm path ships it as-is with zero re-packing,
+        and the fresh/inline paths rebuild it transparently before use.
     retry:
         Fault-tolerance policy (see :class:`RetryPolicy`).  ``None``
         keeps the historical fail-fast behavior: any worker loss or
@@ -355,7 +442,21 @@ def parallel_map(
         ``n_jobs > 1`` -- pool spin-up would cost more than it saves
         (logged, counted in ``parallel.auto_inline``).  Results are
         unaffected either way (the determinism contract).  ``None``
-        (default) disables the heuristic.
+        (default) disables the heuristic.  When a warm pool for this
+        map's key is already leased, the lower
+        :data:`WARM_AUTO_INLINE_THRESHOLD_S` applies instead.
+    warm_pool:
+        Lease a warm executor from :mod:`repro.parallel.pool` for the
+        first round instead of building a throwaway pool (``None`` =
+        the process default, see
+        :func:`~repro.parallel.pool.warm_pool_enabled`).  Retry rounds
+        always run on fresh per-round pools, preserving the failure
+        taxonomy exactly.  Results are bit-identical either way.
+    shm:
+        Ship bulk payload arrays through the shared-memory plane of
+        :mod:`repro.parallel.shm` on the warm path (``None`` = the
+        process default, see :func:`~repro.parallel.shm.shm_enabled`).
+        Only affects transport cost, never results.
 
     Returns the results in task order.  Shards lost past the retry
     budget under ``allow_partial=True`` come back as ``None`` -- filter
@@ -392,7 +493,16 @@ def parallel_map(
     t0 = time.perf_counter()
     busy_s = 0.0
 
-    if jobs > 1 and _should_auto_inline(cost_hint_s, len(pending), jobs):
+    context = multiprocessing.get_context(start_method)
+    in_worker = _in_worker()
+    use_warm = jobs > 1 and not in_worker and warm_pool_enabled(warm_pool)
+    warm_ready = use_warm and get_lease().has(context, jobs)
+
+    auto_inlined = False
+    if jobs > 1 and _should_auto_inline(
+        cost_hint_s, len(pending), jobs, warm_ready
+    ):
+        auto_inlined = True
         if metrics.enabled:
             metrics.counter("parallel.auto_inline").inc()
         _log.info(
@@ -402,19 +512,44 @@ def parallel_map(
                 tasks=len(pending),
                 workers=jobs,
                 est_per_worker_s=round(cost_hint_s * len(pending) / jobs, 4),
-                threshold_s=AUTO_INLINE_THRESHOLD_S,
+                threshold_s=(
+                    WARM_AUTO_INLINE_THRESHOLD_S
+                    if warm_ready
+                    else AUTO_INLINE_THRESHOLD_S
+                ),
             ),
         )
         jobs = 1
 
-    if jobs <= 1 or len(pending) <= 1 or _in_worker():
+    if jobs <= 1 or len(pending) <= 1 or in_worker:
+        path = "auto-inline" if auto_inlined else "inline"
         if metrics.enabled:
             metrics.counter("parallel.serial_maps").inc()
-        with metrics.time(f"parallel.map.{label}"):
-            _run_inline(fn, tasks, pending, payload, label, journal, results)
+        inline_payload = (
+            load_packed(payload)
+            if isinstance(payload, PackedPayload)
+            else payload
+        )
+        with metrics.time(f"parallel.map.{label}"), span(
+            "parallel-map", label=label, path=path, tasks=len(pending)
+        ):
+            _run_inline(
+                fn, tasks, pending, inline_payload, label, journal, results
+            )
         lost: List[int] = []
     else:
-        with metrics.time(f"parallel.map.{label}"):
+        path = (
+            "pool-warm-reuse"
+            if warm_ready
+            else ("pool-warm" if use_warm else "pool-fresh")
+        )
+        with metrics.time(f"parallel.map.{label}"), span(
+            "parallel-map",
+            label=label,
+            path=path,
+            tasks=len(pending),
+            workers=jobs,
+        ):
             busy_s, lost = _run_pooled(
                 fn,
                 tasks,
@@ -422,11 +557,13 @@ def parallel_map(
                 payload,
                 jobs,
                 label,
-                start_method,
+                context,
                 policy,
                 journal,
                 results,
                 metrics,
+                use_warm=use_warm,
+                use_shm=shm_enabled(shm),
             )
         wall_s = time.perf_counter() - t0
         if metrics.enabled:
@@ -492,17 +629,32 @@ def _run_pooled(
     payload,
     jobs,
     label,
-    start_method,
+    context,
     policy,
     journal,
     results,
     metrics,
+    use_warm=False,
+    use_shm=True,
 ):
-    """Pool execution with retry rounds; returns (busy_s, lost shards)."""
-    context = multiprocessing.get_context(start_method)
+    """Pool execution with retry rounds; returns (busy_s, lost shards).
+
+    With ``use_warm``, the first round leases a warm executor and ships
+    the payload packed (see :func:`_run_round`); retry rounds always
+    build a fresh throwaway pool with the historical initializer-based
+    payload broadcast, so transient-failure recovery behaves exactly as
+    it did before pool leasing existed.
+    """
     remaining = list(pending)
     busy_total = 0.0
     attempt = 0
+    packed = None
+    if use_warm:
+        if isinstance(payload, PackedPayload):
+            packed = payload  # caller packed it once; ship as-is
+        else:
+            with metrics.time("parallel.pack"):
+                packed = pack_payload(payload, use_shm=use_shm)
     while remaining:
         transient, fatal, busy_s = _run_round(
             fn,
@@ -516,6 +668,7 @@ def _run_pooled(
             journal,
             results,
             metrics,
+            packed=packed if attempt == 0 else None,
         )
         busy_total += busy_s
         if fatal is not None:
@@ -561,8 +714,16 @@ def _run_round(
     journal,
     results,
     metrics,
+    packed=None,
 ):
     """One pool round over ``indices``.
+
+    With ``packed`` set (warm first round), the executor is leased from
+    the process-wide :class:`~repro.parallel.pool.PoolLease` and every
+    task carries the packed payload; the pool survives the round unless
+    it ended badly (worker death, watchdog), in which case the lease is
+    invalidated so the *next* map starts clean.  Without ``packed``,
+    this is the historical throwaway pool with initializer broadcast.
 
     Returns ``(transient, fatal, busy_s)``: the shard indices lost to
     worker death or the watchdog, the first deterministic task failure
@@ -570,20 +731,50 @@ def _run_round(
     did complete -- which are stored into ``results`` and journaled
     immediately, so even a round that ends badly keeps its credit.
     """
-    executor = ProcessPoolExecutor(
-        max_workers=jobs,
-        mp_context=context,
-        initializer=_worker_init,
-        initargs=(payload, metrics.enabled),
-    )
+    warm = packed is not None
+    if warm:
+        executor, _reused = get_lease().acquire(
+            context, jobs, initializer=_warm_worker_init
+        )
+    else:
+        executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(payload, metrics.enabled),
+        )
     transient: List[int] = []
     fatal = None
     busy_total = 0.0
+    healthy = True
     try:
-        waiting = {
-            executor.submit(_invoke, fn, tasks[i], i, label): i
-            for i in indices
-        }
+        if warm:
+            fault_spec = os.environ.get(FAULT_ENV)
+            try:
+                waiting = {
+                    executor.submit(
+                        _invoke_packed,
+                        fn,
+                        tasks[i],
+                        i,
+                        label,
+                        packed,
+                        metrics.enabled,
+                        fault_spec,
+                    ): i
+                    for i in indices
+                }
+            except BrokenProcessPool:
+                # a worker died idle between maps: the whole round is
+                # transient, the lease is invalidated in finally.
+                healthy = False
+                transient.extend(indices)
+                return transient, None, busy_total
+        else:
+            waiting = {
+                executor.submit(_invoke, fn, tasks[i], i, label): i
+                for i in indices
+            }
         while waiting:
             done, _ = _futures_wait(
                 list(waiting),
@@ -593,6 +784,7 @@ def _run_round(
             if not done:
                 # watchdog: nothing completed within the window --
                 # declare the in-flight shards lost and kill the pool.
+                healthy = False
                 transient.extend(waiting.values())
                 _log.warning(
                     "watchdog expired %s",
@@ -613,6 +805,11 @@ def _run_round(
                     broken = True
                 except Exception as exc:
                     fatal = (index, exc)
+                    if warm:
+                        # keep the healthy pool; drop what we can of
+                        # the still-queued work before failing fast.
+                        for pending_future in waiting:
+                            pending_future.cancel()
                     return transient, fatal, busy_total
                 else:
                     results[index] = result
@@ -624,8 +821,13 @@ def _run_round(
             if broken:
                 # the pool is unusable: every shard still waiting will
                 # fail the same way -- mark them lost in one sweep.
+                healthy = False
                 transient.extend(waiting.values())
                 waiting.clear()
         return transient, None, busy_total
     finally:
-        _shutdown_executor(executor)
+        if warm:
+            if not healthy:
+                get_lease().invalidate(context, jobs)
+        else:
+            _shutdown_executor(executor)

@@ -1,0 +1,187 @@
+"""Warm process-pool leases for the parallel engine.
+
+A flow-level sweep issues one :func:`~repro.parallel.parallel_map` per
+campaign -- hundreds per run -- and historically every call built and
+tore down its own ``ProcessPoolExecutor``.  Forking workers costs tens
+of milliseconds each, which dominates small campaigns.  This module
+keeps one executor warm per ``(start method, worker count)`` key and
+leases it to successive maps:
+
+* :meth:`PoolLease.acquire` returns the cached executor for a key (or
+  creates one), counting ``parallel.pool.created`` /
+  ``parallel.pool.reused``.
+* :meth:`PoolLease.invalidate` shuts a pool down hard when a round
+  ended badly (worker death, watchdog expiry) -- the next map gets a
+  fresh warm pool, and the retry round that follows always runs on a
+  throwaway per-round pool so the fault taxonomy of
+  :mod:`repro.parallel.engine` is preserved bit-for-bit.
+* :meth:`PoolLease.shutdown_all` (also registered ``atexit``) tears
+  every warm pool down.
+
+Warm workers are started *without* a payload: each task ships a
+:class:`~repro.parallel.shm.PackedPayload` instead, which the worker
+rebuilds once per distinct payload fingerprint (see
+:mod:`repro.parallel.shm`).
+
+Disable with ``REPRO_NO_WARM_POOL=1``, ``--no-warm-pool``, or
+:func:`set_warm_pool_default` -- maps then fall back to the historical
+pool-per-call behavior, with identical results either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional, Tuple
+
+from ..obs import get_logger, get_registry, kv
+
+_log = get_logger(__name__)
+
+__all__ = [
+    "PoolLease",
+    "get_lease",
+    "set_warm_pool_default",
+    "warm_pool_enabled",
+]
+
+#: Kill switch: set to any non-empty value to disable warm pools
+#: process-wide (every map builds and tears down its own pool).
+ENV_DISABLE = "REPRO_NO_WARM_POOL"
+
+_DEFAULT_ENABLED = True
+
+
+def warm_pool_enabled(override: Optional[bool] = None) -> bool:
+    """Effective on/off state of warm pool leasing.
+
+    ``REPRO_NO_WARM_POOL`` beats everything (operational kill switch),
+    an explicit ``override`` (CLI flag, config field) beats the module
+    default set by :func:`set_warm_pool_default`.
+    """
+    if os.environ.get(ENV_DISABLE):
+        return False
+    if override is not None:
+        return bool(override)
+    return _DEFAULT_ENABLED
+
+
+def set_warm_pool_default(enabled: bool) -> None:
+    """Set the process-wide default used when no override is given."""
+    global _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(enabled)
+
+
+def _pool_key(context, jobs: int) -> Tuple[str, int]:
+    return (context.get_start_method(), int(jobs))
+
+
+class PoolLease:
+    """Keeps one warm ``ProcessPoolExecutor`` per (context, jobs) key."""
+
+    def __init__(self):
+        self._owner_pid = os.getpid()
+        self._pools: Dict[Tuple[str, int], ProcessPoolExecutor] = {}
+        self._atexit_registered = False
+
+    def __len__(self) -> int:
+        return len(self._pools)
+
+    def has(self, context, jobs: int) -> bool:
+        """Whether a healthy warm pool for this key is already up."""
+        executor = self._pools.get(_pool_key(context, jobs))
+        return executor is not None and not self._broken(executor)
+
+    @staticmethod
+    def _broken(executor: ProcessPoolExecutor) -> bool:
+        return bool(getattr(executor, "_broken", False))
+
+    def acquire(
+        self, context, jobs: int, initializer=None, initargs=()
+    ) -> Tuple[ProcessPoolExecutor, bool]:
+        """The warm executor for a key; returns ``(executor, reused)``.
+
+        A cached-but-broken executor is replaced transparently (still
+        counted as a creation, plus ``parallel.pool.invalidated``).
+        """
+        key = _pool_key(context, jobs)
+        metrics = get_registry()
+        executor = self._pools.get(key)
+        if executor is not None and not self._broken(executor):
+            if metrics.enabled:
+                metrics.counter("parallel.pool.reused").inc()
+            return executor, True
+        if executor is not None:
+            self.invalidate(context, jobs)
+        executor = ProcessPoolExecutor(
+            max_workers=jobs,
+            mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
+        )
+        self._pools[key] = executor
+        if not self._atexit_registered:
+            atexit.register(self.shutdown_all)
+            self._atexit_registered = True
+        if metrics.enabled:
+            metrics.counter("parallel.pool.created").inc()
+            metrics.gauge("parallel.pool.active").set(len(self._pools))
+        _log.debug(
+            "warm pool created %s", kv(method=key[0], workers=key[1])
+        )
+        return executor, False
+
+    def invalidate(self, context, jobs: int) -> None:
+        """Discard a key's pool after a bad round (hard shutdown)."""
+        executor = self._pools.pop(_pool_key(context, jobs), None)
+        if executor is None:
+            return
+        # local import: engine imports this module at load time
+        from .engine import _shutdown_executor
+
+        _shutdown_executor(executor)
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.counter("parallel.pool.invalidated").inc()
+            metrics.gauge("parallel.pool.active").set(len(self._pools))
+        _log.debug(
+            "warm pool invalidated %s",
+            kv(method=context.get_start_method(), workers=jobs),
+        )
+
+    def shutdown_all(self) -> None:
+        """Tear every warm pool down (atexit hook; PID-guarded)."""
+        if os.getpid() != self._owner_pid:
+            self._pools.clear()
+            return
+        from .engine import _shutdown_executor
+
+        for executor in self._pools.values():
+            # graceful for healthy idle pools: waiting lets the manager
+            # thread deregister itself, so the interpreter's own exit
+            # hook finds no half-closed pipes to poke.  Broken pools
+            # fall back to the hard teardown.
+            if self._broken(executor):
+                _shutdown_executor(executor)
+            else:
+                try:
+                    executor.shutdown(wait=True, cancel_futures=True)
+                except Exception:  # pragma: no cover -- defensive
+                    _shutdown_executor(executor)
+        self._pools.clear()
+        metrics = get_registry()
+        if metrics.enabled:
+            metrics.gauge("parallel.pool.active").set(0)
+
+
+_LEASE: Optional[PoolLease] = None
+
+
+def get_lease() -> PoolLease:
+    """The process-wide :class:`PoolLease` (created lazily)."""
+    global _LEASE
+    if _LEASE is None or _LEASE._owner_pid != os.getpid():
+        # forked children never reuse (or tear down) the parent's pools
+        _LEASE = PoolLease()
+    return _LEASE

@@ -82,6 +82,12 @@ class ArrayMcConfig:
     max_multiplicity: int = 8
     #: Worker processes for campaigns (1 = inline, 0 = one per CPU).
     n_jobs: int = 1
+    #: Warm-pool leasing / shared-memory payload plane overrides for
+    #: the campaign maps (``None`` = process defaults; see
+    #: :mod:`repro.parallel.pool` / :mod:`repro.parallel.shm`).
+    #: Execution knobs only -- results are bit-identical either way.
+    warm_pool: Optional[bool] = None
+    shm: Optional[bool] = None
 
     def __post_init__(self):
         if self.deposition_mode not in DEPOSITION_MODES:
@@ -227,19 +233,34 @@ class ArrayPofResult:
         if n_total < 1:
             raise ConfigError("merged shards contain no particles")
 
-        def weighted(attr):
-            acc = 0.0
-            for shard in shards:
-                acc += getattr(shard, attr) * shard.n_particles
-            return acc / n_total
+        # one vectorized pass over the shard axis; np.cumsum accumulates
+        # strictly left-to-right (never pairwise like np.sum), so the
+        # float summation order -- and therefore every bit of the
+        # result -- matches the historical per-attribute Python loops.
+        weights = np.array(
+            [shard.n_particles for shard in shards], dtype=np.float64
+        )
+        pof_stack = np.array(
+            [
+                [shard.pof_total, shard.pof_seu, shard.pof_mbu]
+                for shard in shards
+            ],
+            dtype=np.float64,
+        )
+        pof_total, pof_seu, pof_mbu = (
+            np.cumsum(pof_stack * weights[:, np.newaxis], axis=0)[-1] / n_total
+        )
 
         if first.multiplicity_pmf is None:
             pmf = None
         else:
-            pmf = np.zeros_like(first.multiplicity_pmf)
-            for shard in shards:
-                pmf += shard.multiplicity_pmf * shard.n_particles
-            pmf /= n_total
+            pmf_stack = np.stack(
+                [shard.multiplicity_pmf for shard in shards]
+            ).astype(np.float64, copy=False)
+            pmf = (
+                np.cumsum(pmf_stack * weights[:, np.newaxis], axis=0)[-1]
+                / n_total
+            )
 
         return cls(
             particle_name=first.particle_name,
@@ -248,9 +269,9 @@ class ArrayPofResult:
             n_particles=n_total,
             n_array_hits=sum(shard.n_array_hits for shard in shards),
             n_fin_strikes=sum(shard.n_fin_strikes for shard in shards),
-            pof_total=weighted("pof_total"),
-            pof_seu=weighted("pof_seu"),
-            pof_mbu=weighted("pof_mbu"),
+            pof_total=float(pof_total),
+            pof_seu=float(pof_seu),
+            pof_mbu=float(pof_mbu),
             launch_area_cm2=first.launch_area_cm2,
             multiplicity_pmf=pmf,
             degraded=any(shard.degraded for shard in shards),
@@ -481,6 +502,8 @@ class ArraySerSimulator:
                 journal=journal,
                 # ~2 us per particle: tiny campaigns skip pool spin-up
                 cost_hint_s=2.0e-6 * n_particles / max(len(tasks), 1),
+                warm_pool=self.config.warm_pool,
+                shm=self.config.shm,
             )
             lost = sum(1 for group in nested if group is None)
             with metrics.time("array_mc.merge"):
@@ -608,9 +631,9 @@ class ArraySerSimulator:
         if len(event_rows) == 0:
             return n_hits, 0, 0, None
 
-        sub = chords[event_rows] > 0.0
-        ray_idx, fin_idx = np.nonzero(sub)
-        chord_vals = chords[event_rows][ray_idx, fin_idx]
+        sub_chords = chords[event_rows]
+        ray_idx, fin_idx = np.nonzero(sub_chords > 0.0)
+        chord_vals = sub_chords[ray_idx, fin_idx]
         strike_energies = per_ray_energy[event_rows][ray_idx]
 
         pairs = self._pairs_for_strikes(

@@ -230,6 +230,8 @@ def characterize_cell(
     n_jobs: int = 1,
     retry=None,
     journal=None,
+    warm_pool: Optional[bool] = None,
+    shm: Optional[bool] = None,
 ) -> PofTable:
     """Build the full POF table for a cell design.
 
@@ -249,6 +251,11 @@ def characterize_cell(
     (built with :func:`characterize_shard_encode` /
     :func:`characterize_shard_decode`) preserves the finished grids for
     the next attempt.
+
+    ``warm_pool`` / ``shm`` override the process defaults for pool
+    leasing and the shared-memory payload plane (the big per-Vdd
+    :class:`~repro.sram.ivtab.IVTables` surfaces ride shared segments);
+    pure transport knobs, results are bit-identical either way.
     """
     config = config if config is not None else CharacterizationConfig()
     rng = np.random.default_rng(config.seed)
@@ -308,6 +315,8 @@ def characterize_cell(
             retry=retry.strict() if retry is not None else None,
             journal=journal,
             cost_hint_s=_task_cost_hint_s(config, n_samples),
+            warm_pool=warm_pool,
+            shm=shm,
         )
         if journal is not None:
             # every grid is present (strict policy) -- the checkpoint
