@@ -34,13 +34,16 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import FlowConfig, SerFlow
+from repro.obs.events import configure_events, disable_events
 from repro.obs.registry import disable_metrics, enable_metrics
+from repro.obs.trace import configure_tracing, reset_tracing
 from repro.parallel import (
     get_lease,
     get_pack,
@@ -104,13 +107,18 @@ def _reset_engine(flow: SerFlow):
     flow._campaign_packs.clear()
 
 
-def bench_mode(flow: SerFlow, reps: int, *, warm: bool):
+def bench_mode(flow: SerFlow, reps: int, *, warm: bool, telemetry_dir=None):
     """Min-of-``reps`` campaign-phase timing for one engine mode.
 
     Every rep starts from a cold engine, so the warm mode's advantage
     is what it earns *within* one sweep's worth of fits -- the
     realistic shape of a CLI invocation.  Returns the last rep's fits,
     the best wall time, and the last rep's metrics counters.
+
+    With ``telemetry_dir``, the full observability plane is live for
+    every timed rep: the event bus streams worker progress/heartbeats
+    to ``events.jsonl`` and spans to ``trace.jsonl`` -- the setup the
+    telemetry-overhead mode times against the metrics-only baseline.
     """
     set_warm_pool_default(warm)
     set_shm_default(warm)
@@ -124,12 +132,18 @@ def bench_mode(flow: SerFlow, reps: int, *, warm: bool):
         for _ in range(reps):
             _reset_engine(flow)
             registry = enable_metrics(fresh=True)
+            if telemetry_dir is not None:
+                configure_events(Path(telemetry_dir) / "events.jsonl")
+                configure_tracing(Path(telemetry_dir) / "trace.jsonl")
             try:
                 t0 = time.perf_counter()
                 fits = [flow.fit(p, v) for p, v in grid]
                 seconds = time.perf_counter() - t0
                 counters = registry.snapshot()["counters"]
             finally:
+                if telemetry_dir is not None:
+                    disable_events()
+                    reset_tracing()
                 disable_metrics()
             best = min(best, seconds)
     finally:
@@ -184,6 +198,19 @@ def main(argv=None) -> int:
         "(default: 1.5; CI uses 1.0 as a no-slower-than floor)",
     )
     parser.add_argument(
+        "--telemetry-overhead",
+        action="store_true",
+        help="also time the warm mode with the full telemetry plane "
+        "(events + trace) live and report its overhead",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.05,
+        help="with --check and --telemetry-overhead, fail if telemetry "
+        "costs more than this fraction of wall time (default: 0.05)",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_flow.json",
         help="trajectory artifact to append this run to",
@@ -225,6 +252,30 @@ def main(argv=None) -> int:
         f"worker_payload_hits={payload_hits}"
     )
 
+    telemetry = None
+    if args.telemetry_overhead:
+        with tempfile.TemporaryDirectory(prefix="bench_obs_") as obs_dir:
+            tele_fits, tele_s, _ = bench_mode(
+                flow, args.reps, warm=True, telemetry_dir=obs_dir
+            )
+            events_bytes = (
+                Path(obs_dir) / "events.jsonl"
+            ).stat().st_size
+        overhead = tele_s / warm_s - 1.0 if warm_s > 0 else 0.0
+        telemetry = {
+            "warm_s": warm_s,
+            "telemetry_s": tele_s,
+            "overhead": overhead,
+            "events_bytes": events_bytes,
+        }
+        print(
+            f"telemetry plane (events + trace): {tele_s:.3f}s vs "
+            f"{warm_s:.3f}s bare ({overhead:+.1%}, "
+            f"{events_bytes} event bytes over {args.reps} reps)"
+        )
+        assert_fits_identical(warm_fits, tele_fits)
+        print("telemetry determinism check passed (fits bit-identical)")
+
     if args.check:
         assert_fits_identical(fresh_fits, warm_fits)
         assert pools_reused > 0, "warm run never reused a pool"
@@ -238,6 +289,15 @@ def main(argv=None) -> int:
             "determinism checks passed (warm+shm == per-call pools, "
             f"speedup >= {args.min_speedup:.2f}x)"
         )
+        if telemetry is not None:
+            assert telemetry["overhead"] <= args.max_overhead, (
+                f"telemetry overhead {telemetry['overhead']:+.1%} above "
+                f"{args.max_overhead:.0%} budget"
+            )
+            print(
+                f"telemetry overhead within budget "
+                f"(<= {args.max_overhead:.0%})"
+            )
 
     entry = {
         "timestamp": datetime.datetime.now(
@@ -252,6 +312,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "timings_s": {"fresh": fresh_s, "warm": warm_s},
         "speedup": speedup,
+        "telemetry": telemetry,
         "warm_counters": {
             "pools_created": counters.get("parallel.pool.created", 0),
             "pools_reused": pools_reused,

@@ -37,6 +37,15 @@ plus the observability flags (see ``docs/observability.md``):
 * ``--metrics-out``  -- write a JSON run manifest (config, seed, stage
   timings, MC trial counts, throughput, cache hit/miss counts).
 * ``--trace``        -- stream nested stage spans to a JSONL file.
+* ``--events``       -- stream live progress/heartbeat/convergence
+  events to a JSONL file while campaigns run.
+
+The ``obs`` subcommand family inspects what the flags above produce:
+``obs tail`` renders an event stream (``--follow`` live-tails a
+running campaign with ETA and stall warnings), ``obs summarize``
+folds a trace/events/manifest file into per-span p50/p99 tables,
+``obs diff`` compares two run manifests, and ``obs bench-check``
+regression-gates a committed ``BENCH_*.json`` trajectory.
 """
 
 from __future__ import annotations
@@ -51,8 +60,10 @@ import numpy as np
 from . import __version__
 from .obs import (
     build_manifest,
+    configure_events,
     configure_logging,
     configure_tracing,
+    disable_events,
     enable_metrics,
     get_output_logger,
     reset_tracing,
@@ -89,6 +100,13 @@ def _add_obs(parser):
         default=None,
         metavar="PATH",
         help="stream stage spans to a JSONL trace file",
+    )
+    group.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="stream live progress/heartbeat/convergence events to a "
+        "JSONL file while campaigns run (tail it with 'obs tail')",
     )
 
 
@@ -379,6 +397,141 @@ def cmd_info(args) -> int:
     return 0
 
 
+def cmd_obs_tail(args) -> int:
+    from .obs.inspect import follow_events, tail_events
+
+    if args.follow:
+        try:
+            for line in follow_events(
+                args.path,
+                stall_after_s=args.stall_after,
+                idle_timeout_s=args.idle_timeout,
+            ):
+                _say(line)
+        except KeyboardInterrupt:  # pragma: no cover -- interactive
+            pass
+        return 0
+    lines, stats = tail_events(args.path, last=args.last)
+    for line in lines:
+        _say(line)
+    kinds = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(stats["kinds"].items())
+    )
+    _say(f"-- {stats['events']} events ({kinds or 'none'})")
+    if stats["invalid"]:
+        _say(f"-- {stats['invalid']} invalid line(s) skipped")
+    return 0
+
+
+def cmd_obs_summarize(args) -> int:
+    import json as _json
+
+    from .obs.inspect import (
+        render_span_table,
+        render_table,
+        summarize_events,
+        summarize_manifest,
+        summarize_trace,
+    )
+
+    kind = args.kind
+    if kind == "auto":
+        name = str(args.path).lower()
+        if name.endswith(".json"):
+            kind = "manifest"
+        elif "trace" in name:
+            kind = "trace"
+        else:
+            kind = "events"
+    if kind == "manifest":
+        summary = summarize_manifest(args.path)
+        _say(
+            f"manifest: command={summary['command']} "
+            f"duration={summary['duration_s']:.2f}s"
+        )
+        if summary["spans"]:
+            _say(render_span_table(summary["spans"]))
+        bins = summary.get("convergence_bins") or {}
+        if bins.get("bins"):
+            _say(
+                f"convergence: {bins['bins']} bins, "
+                f"{bins['total_trials']} trials, "
+                f"se p50={bins['p50_se']:.3g} p99={bins['p99_se']:.3g}, "
+                f"worst {bins['worst_bin']} ({bins['worst_se']:.3g})"
+            )
+    elif kind == "trace":
+        summary = summarize_trace(args.path)
+        _say(render_span_table(summary["spans"]))
+        if summary["invalid"]:
+            _say(f"-- {summary['invalid']} invalid line(s) skipped")
+    else:
+        summary = summarize_events(args.path)
+        rows = [
+            [
+                label,
+                str(stats["rounds"]),
+                str(stats["tasks"]),
+                str(stats["finished"]),
+                str(stats["retried"]),
+                str(stats["lost"]),
+                f"{stats['busy_p50_s']:.4f}",
+                f"{stats['busy_p99_s']:.4f}",
+            ]
+            for label, stats in sorted(summary["labels"].items())
+        ]
+        _say(
+            render_table(
+                [
+                    "label", "rounds", "tasks", "finished",
+                    "retried", "lost", "busy_p50", "busy_p99",
+                ],
+                rows,
+            )
+        )
+        conv = summary["convergence"]
+        if conv["bins"]:
+            _say(
+                f"convergence: {conv['bins']} bins, "
+                f"se p50={conv['p50_se']:.3g} p99={conv['p99_se']:.3g}, "
+                f"worst {conv['worst_bin']} ({conv['worst_se']:.3g})"
+            )
+    if args.json:
+        _say(_json.dumps(summary, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def cmd_obs_diff(args) -> int:
+    from .obs.inspect import diff_manifests, render_table
+
+    diffs, meta = diff_manifests(args.path_a, args.path_b)
+    _say(
+        f"comparing {meta['a']['command']} ({meta['a']['started_at']}) "
+        f"vs {meta['b']['command']} ({meta['b']['started_at']})"
+    )
+    if not diffs:
+        _say("no differences (wall-time fields within 0.1%)")
+        return 0
+    _say(
+        render_table(
+            ["field", "a", "b"],
+            [[key, str(va), str(vb)] for key, va, vb in diffs],
+        )
+    )
+    return 1 if args.fail_on_diff else 0
+
+
+def cmd_obs_bench_check(args) -> int:
+    from .obs.inspect import bench_check
+
+    exit_code = 0
+    for path in args.paths:
+        ok, report = bench_check(path, max_regress=args.max_regress)
+        _say(report)
+        if not ok:
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ser",
@@ -435,6 +588,92 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="technology figures of merit")
     p_info.set_defaults(func=cmd_info)
 
+    p_obs = sub.add_parser(
+        "obs", help="inspect telemetry files (events, traces, manifests)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+
+    p_tail = obs_sub.add_parser(
+        "tail", help="render an event stream (optionally live)"
+    )
+    p_tail.add_argument("path", help="events JSONL file (--events output)")
+    p_tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep tailing as the file grows (live campaign view with "
+        "heartbeat ETAs and stall warnings)",
+    )
+    p_tail.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the trailing N events (default: all)",
+    )
+    p_tail.add_argument(
+        "--stall-after",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="flag a stall after S seconds without events (default: 10)",
+    )
+    p_tail.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="stop following after S idle seconds (default: forever)",
+    )
+    p_tail.set_defaults(func=cmd_obs_tail)
+
+    p_summ = obs_sub.add_parser(
+        "summarize",
+        help="per-span p50/p99 tables from a trace, events, or manifest file",
+    )
+    p_summ.add_argument("path", help="telemetry file to summarize")
+    p_summ.add_argument(
+        "--kind",
+        choices=("auto", "trace", "events", "manifest"),
+        default="auto",
+        help="file type (default: auto -- .json is a manifest, a path "
+        "containing 'trace' is a trace, anything else is events)",
+    )
+    p_summ.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the structured summary as JSON",
+    )
+    p_summ.set_defaults(func=cmd_obs_summarize)
+
+    p_diff = obs_sub.add_parser(
+        "diff", help="field-level differences between two run manifests"
+    )
+    p_diff.add_argument("path_a")
+    p_diff.add_argument("path_b")
+    p_diff.add_argument(
+        "--fail-on-diff",
+        action="store_true",
+        help="exit 1 when the manifests differ",
+    )
+    p_diff.set_defaults(func=cmd_obs_diff)
+
+    p_bench = obs_sub.add_parser(
+        "bench-check",
+        help="regression-gate BENCH_*.json trajectories (newest vs best)",
+    )
+    p_bench.add_argument("paths", nargs="+", metavar="BENCH.json")
+    p_bench.add_argument(
+        "--max-regress",
+        type=float,
+        default=0.10,
+        metavar="FRAC",
+        help="allowed relative drop from the historical best "
+        "(default: 0.10; committed trajectories span machines, so CI "
+        "uses a generous value)",
+    )
+    p_bench.set_defaults(func=cmd_obs_bench_check)
+
     for command_parser in (
         p_build, p_fit, p_sweep, p_qcrit, p_report, p_figures, p_snm, p_info
     ):
@@ -457,10 +696,21 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    configure_logging(level=args.log_level, quiet=args.quiet)
+    # the ``obs`` inspection subcommands carry no observability flags
+    # of their own (they *read* telemetry instead of producing it), so
+    # every flag lookup below tolerates absence.
+    configure_logging(
+        level=getattr(args, "log_level", "warning"),
+        quiet=getattr(args, "quiet", False),
+    )
     enable_metrics(fresh=True)
-    if args.trace:
-        configure_tracing(args.trace)
+    trace_path = getattr(args, "trace", None)
+    events_path = getattr(args, "events", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_path:
+        configure_tracing(trace_path)
+    if events_path:
+        configure_events(path=events_path)
 
     started_at = datetime.datetime.now(datetime.timezone.utc).isoformat()
     t0 = time.perf_counter()
@@ -471,7 +721,7 @@ def main(argv=None) -> int:
         return exit_code
     finally:
         duration_s = time.perf_counter() - t0
-        if args.metrics_out:
+        if metrics_out:
             manifest = build_manifest(
                 command=args.command,
                 argv=list(argv) if argv is not None else sys.argv[1:],
@@ -482,11 +732,14 @@ def main(argv=None) -> int:
                 exit_code=exit_code,
                 version=__version__,
             )
-            manifest.write(args.metrics_out)
-            _say(f"run manifest written to {args.metrics_out}")
-        if args.trace:
+            manifest.write(metrics_out)
+            _say(f"run manifest written to {metrics_out}")
+        if trace_path:
             reset_tracing()
-            _say(f"trace written to {args.trace}")
+            _say(f"trace written to {trace_path}")
+        if events_path:
+            disable_events()
+            _say(f"events written to {events_path}")
 
 
 if __name__ == "__main__":

@@ -520,23 +520,46 @@ class SerFlow:
             return integrate_fit(particle_name, vdd_v, bins, results)
 
     def _record_convergence(self, particle_name, vdd_v, results):
-        """Per-bin POF standard errors into the metrics registry.
+        """Per-bin POF standard errors into metrics, events, tracker.
 
-        The run manifest lifts the ``fit.pof_se.*`` gauges into its
-        ``convergence`` section; each gauge is the worst (largest)
-        per-bin standard error of one (particle, vdd) campaign.
+        Every (particle, vdd, energy) campaign goes through
+        :func:`~repro.obs.convergence.record_bin`, feeding the
+        ``convergence.*`` gauges/histogram, one live ``convergence``
+        event per bin, and the process-wide tracker whose p50/p99
+        digest lands in the manifest's ``convergence_bins`` section.
+        The legacy ``fit.pof_se.*`` worst-per-(particle, vdd) gauges
+        and the ``fit.pof_standard_error`` histogram stay as-is (the
+        manifest's ``convergence`` section reads them).
         """
-        metrics = get_registry()
-        if not metrics.enabled:
+        from ..obs.convergence import convergence_active, record_bin
+
+        if not convergence_active():
             return
         from ..analysis.convergence import pof_standard_error
 
-        errors = [pof_standard_error(r) for r in results]
+        metrics = get_registry()
+        results = [r for r in results if r is not None]
+        errors = []
+        for result in results:
+            error = pof_standard_error(result)
+            errors.append(error)
+            record_bin(
+                "fit",
+                trials=int(result.n_particles),
+                pof=float(result.pof_total),
+                standard_error=error,
+                particle=particle_name,
+                vdd_v=vdd_v,
+                energy_mev=float(result.energy_mev),
+            )
         worst = max(errors) if errors else 0.0
-        histogram = metrics.histogram("fit.pof_standard_error")
-        for error in errors:
-            histogram.observe(error)
-        metrics.gauge(f"fit.pof_se.{particle_name}.vdd={vdd_v:g}").set(worst)
+        if metrics.enabled:
+            histogram = metrics.histogram("fit.pof_standard_error")
+            for error in errors:
+                histogram.observe(error)
+            metrics.gauge(
+                f"fit.pof_se.{particle_name}.vdd={vdd_v:g}"
+            ).set(worst)
         _log.debug(
             "fit convergence %s",
             kv(particle=particle_name, vdd=vdd_v, max_pof_se=worst),

@@ -20,13 +20,30 @@ the pieces requested by ``--log-level``, ``--metrics-out`` and
 ``--trace``.
 """
 
+from .convergence import (
+    ConvergenceTracker,
+    binomial_standard_error,
+    get_convergence_tracker,
+    record_bin,
+    reset_convergence,
+)
+from .events import (
+    EventBus,
+    EventRing,
+    configure_events,
+    disable_events,
+    emit_event,
+    events_enabled,
+    get_event_bus,
+)
+from .jsonl import JsonlWriter, read_jsonl
 from .log import (
     configure_logging,
     get_logger,
     get_output_logger,
     kv,
 )
-from .manifest import RunManifest, build_manifest
+from .manifest import RunManifest, build_manifest, capture_environment
 from .registry import (
     Counter,
     Gauge,
@@ -74,7 +91,25 @@ __all__ = [
     "get_logger",
     "get_output_logger",
     "kv",
+    # events
+    "EventBus",
+    "EventRing",
+    "configure_events",
+    "disable_events",
+    "emit_event",
+    "events_enabled",
+    "get_event_bus",
+    # convergence
+    "ConvergenceTracker",
+    "binomial_standard_error",
+    "get_convergence_tracker",
+    "record_bin",
+    "reset_convergence",
+    # jsonl
+    "JsonlWriter",
+    "read_jsonl",
     # manifest
     "RunManifest",
     "build_manifest",
+    "capture_environment",
 ]

@@ -8,15 +8,20 @@ counts, rays/sec throughput), how trustworthy the numbers are
 writes one; :func:`RunManifest.from_dict` round-trips it.
 
 Convenience sections (``stage_timings_s``, ``mc``, ``lut_cache``,
-``convergence``, ``fault_tolerance``, ``parallel``) are *derived*
-from the full metrics snapshot kept in
+``convergence``, ``convergence_bins``, ``fault_tolerance``,
+``parallel``) are *derived* from the full metrics snapshot kept in
 ``metrics`` — the snapshot is the ground truth, the sections are what
-a human greps for first.
+a human greps for first.  The ``environment`` section additionally
+captures the live execution-plane state (kill-switch environment
+variables, effective warm-pool/shm defaults, CPU count, start
+method), so a run is reproducible — execution plane included — from
+the manifest alone.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import platform
 import tempfile
@@ -27,7 +32,57 @@ from typing import List, Optional, Union
 from ..errors import SerializationError
 from .registry import get_registry
 
-__all__ = ["RunManifest", "build_manifest", "MANIFEST_KIND", "SCHEMA_VERSION"]
+#: Environment variables recorded verbatim in the manifest: the
+#: execution-plane kill switches plus the fault-injection hook —
+#: anything that changes how (never what) a run computes.
+TRACKED_ENV = (
+    "REPRO_NO_WARM_POOL",
+    "REPRO_NO_SHM",
+    "REPRO_PARALLEL_KILL",
+)
+
+
+def capture_environment(config: Optional[dict] = None) -> dict:
+    """Snapshot the execution-plane state active for this run.
+
+    Records every ``REPRO_*`` environment variable (the tracked kill
+    switches explicitly, even when unset), the *effective*
+    warm-pool/shm defaults after env + override resolution, the
+    resolved job count from the run config, the host CPU count, and
+    the multiprocessing start method.
+    """
+    # local imports: repro.parallel imports repro.obs at module load,
+    # so the reverse edge must stay call-time only.
+    from ..parallel.pool import warm_pool_enabled
+    from ..parallel.shm import shm_enabled
+
+    env = {name: os.environ.get(name) for name in TRACKED_ENV}
+    env.update(
+        {
+            name: value
+            for name, value in os.environ.items()
+            if name.startswith("REPRO_")
+        }
+    )
+    config = config or {}
+    return {
+        "env": env,
+        "warm_pool_enabled": warm_pool_enabled(),
+        "shm_enabled": shm_enabled(),
+        "n_jobs": config.get("jobs"),
+        "cpu_count": os.cpu_count(),
+        "start_method": multiprocessing.get_start_method(allow_none=True),
+        "backend": config.get("backend", "numpy"),
+    }
+
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "capture_environment",
+    "MANIFEST_KIND",
+    "SCHEMA_VERSION",
+    "TRACKED_ENV",
+]
 
 MANIFEST_KIND = "run_manifest"
 SCHEMA_VERSION = 1
@@ -54,8 +109,10 @@ class RunManifest:
     mc: dict = field(default_factory=dict)
     lut_cache: dict = field(default_factory=dict)
     convergence: dict = field(default_factory=dict)
+    convergence_bins: dict = field(default_factory=dict)
     fault_tolerance: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
@@ -75,8 +132,10 @@ class RunManifest:
             "mc": self.mc,
             "lut_cache": self.lut_cache,
             "convergence": self.convergence,
+            "convergence_bins": self.convergence_bins,
             "fault_tolerance": self.fault_tolerance,
             "parallel": self.parallel,
+            "environment": self.environment,
             "metrics": self.metrics,
         }
 
@@ -119,8 +178,10 @@ class RunManifest:
             mc=dict(payload.get("mc", {})),
             lut_cache=dict(payload.get("lut_cache", {})),
             convergence=dict(payload.get("convergence", {})),
+            convergence_bins=dict(payload.get("convergence_bins", {})),
             fault_tolerance=dict(payload.get("fault_tolerance", {})),
             parallel=dict(payload.get("parallel", {})),
+            environment=dict(payload.get("environment", {})),
             metrics=dict(payload.get("metrics", {})),
         )
 
@@ -176,7 +237,13 @@ def build_manifest(
     timers = snapshot.get("timers", {})
 
     stage_timings = {
-        name[len(_STAGE_PREFIX):]: stats
+        # drop the raw retention buffer ("samples") from the derived
+        # section -- it exists for cross-process merging and stays in
+        # the ground-truth ``metrics`` snapshot; the summary keeps the
+        # digested p50/p99.
+        name[len(_STAGE_PREFIX):]: {
+            key: value for key, value in stats.items() if key != "samples"
+        }
         for name, stats in timers.items()
         if name.startswith(_STAGE_PREFIX)
     }
@@ -221,6 +288,9 @@ def build_manifest(
         "shm_fallbacks": counters.get("parallel.shm.fallback", 0),
         "worker_payload_hits": counters.get("parallel.shm.payload_hits", 0),
     }
+    from .convergence import get_convergence_tracker
+
+    convergence_bins = get_convergence_tracker().summary()
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -234,7 +304,9 @@ def build_manifest(
         mc=mc,
         lut_cache=lut_cache,
         convergence=convergence,
+        convergence_bins=convergence_bins,
         fault_tolerance=fault_tolerance,
         parallel=parallel,
+        environment=capture_environment(config),
         metrics=snapshot,
     )

@@ -69,10 +69,45 @@ class Gauge:
         return self.value
 
 
-class Timer:
-    """Accumulated duration statistics (seconds)."""
+def _exact_quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a sample list (0 when empty)."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    position = q * (len(ordered) - 1)
+    lo = int(math.floor(position))
+    hi = int(math.ceil(position))
+    if lo == hi:
+        return ordered[lo]
+    frac = position - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
-    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+#: Retained-sample cap per timer.  Past it the sample list is decimated
+#: deterministically (every other sample dropped, retention stride
+#: doubled) so quantiles stay representative at bounded memory and the
+#: snapshot -- which travels from pool workers to the parent and into
+#: the run manifest -- stays small.
+TIMER_MAX_SAMPLES = 256
+
+
+class Timer:
+    """Accumulated duration statistics (seconds) with quantiles.
+
+    Alongside the running count/total/min/max, a bounded sample list
+    is retained so :meth:`quantile` (and the ``p50_s`` / ``p99_s``
+    snapshot fields) report *exact* quantiles while the observation
+    count stays under :data:`TIMER_MAX_SAMPLES`; past that the list is
+    thinned by deterministic stride-doubling decimation, degrading the
+    quantiles gracefully to a uniform subsample.
+    """
+
+    __slots__ = (
+        "name", "count", "total_s", "min_s", "max_s",
+        "samples", "_stride", "_phase",
+    )
 
     def __init__(self, name: str):
         self.name = name
@@ -80,6 +115,9 @@ class Timer:
         self.total_s = 0.0
         self.min_s = math.inf
         self.max_s = 0.0
+        self.samples: List[float] = []
+        self._stride = 1
+        self._phase = 0
 
     def observe(self, seconds: float):
         seconds = float(seconds)
@@ -89,10 +127,25 @@ class Timer:
             self.min_s = seconds
         if seconds > self.max_s:
             self.max_s = seconds
+        self._retain(seconds)
+
+    def _retain(self, seconds: float):
+        self._phase += 1
+        if self._phase < self._stride:
+            return
+        self._phase = 0
+        self.samples.append(seconds)
+        if len(self.samples) > TIMER_MAX_SAMPLES:
+            self.samples = self.samples[::2]
+            self._stride *= 2
 
     @property
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile of the retained duration samples [s]."""
+        return _exact_quantile(self.samples, q)
 
     def merge(self, snapshot: dict):
         """Fold another timer's :meth:`snapshot` into this one."""
@@ -103,6 +156,8 @@ class Timer:
         self.total_s += float(snapshot.get("total_s", 0.0))
         self.min_s = min(self.min_s, float(snapshot.get("min_s", math.inf)))
         self.max_s = max(self.max_s, float(snapshot.get("max_s", 0.0)))
+        for sample in snapshot.get("samples", ()):
+            self._retain(float(sample))
 
     def time(self):
         """Context manager observing the wall time of its body."""
@@ -115,6 +170,9 @@ class Timer:
             "mean_s": self.mean_s,
             "min_s": self.min_s if self.count else 0.0,
             "max_s": self.max_s,
+            "p50_s": self.quantile(0.5),
+            "p99_s": self.quantile(0.99),
+            "samples": list(self.samples),
         }
 
 
@@ -170,6 +228,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile of the observed distribution.
+
+        The value is linearly interpolated inside the bin the target
+        rank falls in; the underflow bin interpolates from 0 (our
+        histograms observe non-negative quantities) and the overflow
+        bin -- which has no upper bound -- reports the last edge, a
+        deliberate underestimate that keeps the result finite.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bin_count in enumerate(self.counts):
+            if cumulative + bin_count >= target and bin_count > 0:
+                lo = 0.0 if i == 0 else self.edges[i - 1]
+                if i >= len(self.edges):
+                    return self.edges[-1]
+                hi = self.edges[i]
+                frac = (target - cumulative) / bin_count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += bin_count
+        return self.edges[-1]
+
     def merge(self, snapshot: dict):
         """Fold another histogram's :meth:`snapshot` into this one."""
         edges = tuple(float(e) for e in snapshot.get("edges", ()))
@@ -189,6 +273,8 @@ class Histogram:
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -298,6 +384,9 @@ class _NullInstrument:
 
     def observe(self, value: float):
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
     def time(self):
         return _NULL_CONTEXT

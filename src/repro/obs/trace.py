@@ -21,17 +21,23 @@ Lines appear in completion order (children before their parent); the
 When neither tracing nor metrics are enabled, :func:`span` returns a
 shared no-op context manager — two global reads, no allocation — so
 instrumented hot paths cost nothing in the disabled state.
+
+Durability: the trace file is a :class:`~repro.obs.jsonl.JsonlWriter`
+— every span is one unbuffered ``O_APPEND`` write, so worker crashes
+and ``os._exit``-style kills (the fault-injection hook, OOM kills)
+never leave half-flushed span buffers behind, forked pool workers
+append whole lines without tearing the parent's, and the file rotates
+to ``<path>.1`` past ``max_bytes`` instead of growing unboundedly.
 """
 
 from __future__ import annotations
 
 import itertools
-import json
-import os
 import threading
 import time
 from typing import Optional
 
+from .jsonl import DEFAULT_MAX_BYTES, JsonlWriter
 from .registry import get_registry
 
 __all__ = [
@@ -49,36 +55,25 @@ _ids = itertools.count(1)
 _local = threading.local()
 
 
-class TraceWriter:
-    """Append-only JSONL sink for completed spans."""
+class TraceWriter(JsonlWriter):
+    """Crash-safe, rotating JSONL sink for completed spans."""
 
-    def __init__(self, path):
-        self.path = str(path)
-        parent = os.path.dirname(self.path)
-        if parent:
-            os.makedirs(parent, exist_ok=True)
-        self._lock = threading.Lock()
-        self._handle = open(self.path, "w")
-        self.write({"type": "trace", "format": 1})
-
-    def write(self, record: dict):
-        line = json.dumps(record, sort_keys=True, default=str)
-        with self._lock:
-            self._handle.write(line + "\n")
-            self._handle.flush()
-
-    def close(self):
-        with self._lock:
-            if not self._handle.closed:
-                self._handle.close()
+    def __init__(self, path, max_bytes: Optional[int] = DEFAULT_MAX_BYTES):
+        super().__init__(
+            path,
+            header={"type": "trace", "format": 1},
+            max_bytes=max_bytes,
+        )
 
 
-def configure_tracing(path) -> TraceWriter:
+def configure_tracing(
+    path, max_bytes: Optional[int] = DEFAULT_MAX_BYTES
+) -> TraceWriter:
     """Stream all subsequent spans to a JSONL file at ``path``."""
     global _writer
     if _writer is not None:
         _writer.close()
-    _writer = TraceWriter(path)
+    _writer = TraceWriter(path, max_bytes=max_bytes)
     return _writer
 
 

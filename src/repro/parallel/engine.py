@@ -55,6 +55,20 @@ Worker-side metrics recorded through :mod:`repro.obs` are snapshotted
 per task, returned with the result, and merged into the parent
 registry, so ``--metrics-out`` manifests stay complete under
 parallelism.
+
+Live telemetry
+--------------
+When an :class:`~repro.obs.events.EventBus` is configured
+(``--events``, :func:`~repro.obs.events.configure_events`), every map
+additionally streams typed events *while it runs*: ``round``
+start/end, per-shard ``progress`` (``started``/``finished`` emitted
+**inside the worker** and shipped over a ``multiprocessing`` queue;
+``retrying``/``lost`` emitted by the parent), and periodic
+``heartbeat`` events with done/total counts and an ETA.  A pump
+thread (:class:`_EventPump`) drains the worker queue into the bus,
+which stamps the global ``seq`` that totally orders the stream.  With
+no bus configured (the default), none of this machinery runs: no
+queue is drained, no thread started, no event dict built.
 """
 
 from __future__ import annotations
@@ -62,6 +76,8 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import queue as queue_mod
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -77,6 +93,7 @@ import numpy as np
 
 from ..errors import ConfigError, TaskError, WorkerCrashError
 from ..obs import get_logger, get_registry, kv, span
+from ..obs.events import disable_events, emit_event, get_event_bus
 from ..obs.registry import disable_metrics, enable_metrics
 from .pool import get_lease, warm_pool_enabled
 from .shm import PackedPayload, load_packed, pack_payload, shm_enabled
@@ -232,14 +249,70 @@ _WORKER_PAYLOAD: Any = None
 #: result yet (``None`` is a legal shard result, so it cannot serve).
 _PENDING = object()
 
+#: Worker-side end of the telemetry queue, installed by the pool
+#: initializer (``None`` = this worker never emits events).
+_EVENT_QUEUE: Any = None
 
-def _worker_init(payload, with_metrics: bool):
-    global _WORKER_PAYLOAD
+#: Worker-side coalescing buffer.  Every ``put`` into the event queue
+#: costs the worker a feeder-thread wake-up (~tens of µs of wall time
+#: when shards are short), so ``started`` events are buffered and ride
+#: along with the shard's ``finished`` put -- one queue message per
+#: shard -- unless the *previous* shard ran longer than
+#: :data:`_EVENT_FLUSH_BUSY_S`.  Shards within a round are homogeneous
+#: campaigns, so the last duration predicts the next: for slow shards
+#: the ``started`` event is pushed immediately (that is the event that
+#: says *which* shard is stuck on *which* pid), for fast shards its
+#: liveness value is nil and the batch halves the queue traffic.
+_EVENT_FLUSH_BUSY_S = 0.05
+_EVENT_BUFFER: List[dict] = []
+_EVENT_LAST_BUSY_S: Optional[float] = None
+
+
+def _emit_worker_event(
+    state: str, label: str, index: int, flush: bool = True, **extra
+):
+    """Buffer one shard progress event; flush pushes the batch.
+
+    Telemetry must never sink the science: a full/closed queue or a
+    parent that went away just drops the batch.
+    """
+    queue = _EVENT_QUEUE
+    if queue is None:
+        return
+    event = {
+        "kind": "progress",
+        "label": label,
+        "index": index,
+        "state": state,
+        "pid": os.getpid(),
+        "t_worker": time.time(),
+    }
+    event.update(extra)
+    _EVENT_BUFFER.append(event)
+    if not flush:
+        return
+    batch = list(_EVENT_BUFFER)
+    _EVENT_BUFFER.clear()
+    try:
+        queue.put_nowait(batch)
+    except Exception:  # pragma: no cover -- full pipe / dead parent
+        pass
+
+
+def _worker_init(payload, with_metrics: bool, event_queue=None):
+    global _WORKER_PAYLOAD, _EVENT_QUEUE
     if isinstance(payload, PackedPayload):
         # caller-prepacked payload on a fresh (throwaway) pool: rebuild
         # it here once, exactly like the historical broadcast.
         payload = load_packed(payload)
     _WORKER_PAYLOAD = payload
+    _EVENT_QUEUE = event_queue
+    _EVENT_BUFFER.clear()
+    # Under ``fork`` the worker inherits the parent's live bus (and
+    # its open file descriptor): drop it -- worker events travel
+    # through the queue to be sequenced by the parent, never straight
+    # to the sink.
+    disable_events()
     if with_metrics:
         # fresh registry per worker: task snapshots only carry
         # worker-side increments, never the parent's forked state.
@@ -272,12 +345,24 @@ def _maybe_inject_fault(label: str, index: int, spec: Optional[str] = None):
     os._exit(17)
 
 
+def _slow_shards() -> bool:
+    """Whether the last shard ran long enough to flush eagerly."""
+    return (
+        _EVENT_LAST_BUSY_S is None
+        or _EVENT_LAST_BUSY_S > _EVENT_FLUSH_BUSY_S
+    )
+
+
 def _invoke(fn, task, index: int, label: str):
     """Run one task in a worker; return (result, metrics snapshot, busy s)."""
+    global _EVENT_LAST_BUSY_S
     _maybe_inject_fault(label, index)
+    _emit_worker_event("started", label, index, flush=_slow_shards())
     t0 = time.perf_counter()
     result = fn(_WORKER_PAYLOAD, task)
     busy_s = time.perf_counter() - t0
+    _EVENT_LAST_BUSY_S = busy_s
+    _emit_worker_event("finished", label, index, busy_s=round(busy_s, 6))
     registry = get_registry()
     snapshot = None
     if registry.enabled:
@@ -286,7 +371,7 @@ def _invoke(fn, task, index: int, label: str):
     return result, snapshot, busy_s
 
 
-def _warm_worker_init():
+def _warm_worker_init(event_queue=None):
     """Initializer of *warm* pool workers: no payload, no metrics.
 
     Warm workers outlive the map that forked them, so nothing shipped
@@ -295,10 +380,18 @@ def _warm_worker_init():
     fingerprint) and the metrics flag per task (the parent may enable
     or disable the registry between maps).  Under ``fork`` the worker
     inherits the parent's live registry state -- drop it so snapshots
-    only ever carry worker-side increments.
+    only ever carry worker-side increments.  The one exception is the
+    telemetry ``event_queue`` (owned by the
+    :class:`~repro.parallel.pool.PoolLease`, one per pool key): queues
+    only cross the process boundary at construction time, so it is
+    installed here for the worker's whole life; whether anything flows
+    through it is decided per task by the ``with_events`` flag.
     """
-    global _WORKER_PAYLOAD
+    global _WORKER_PAYLOAD, _EVENT_QUEUE
     _WORKER_PAYLOAD = None
+    _EVENT_QUEUE = event_queue
+    _EVENT_BUFFER.clear()
+    disable_events()
     disable_metrics()
 
 
@@ -312,7 +405,14 @@ def _sync_warm_metrics(with_metrics: bool):
 
 
 def _invoke_packed(
-    fn, task, index: int, label: str, packed, with_metrics, fault_spec=None
+    fn,
+    task,
+    index: int,
+    label: str,
+    packed,
+    with_metrics,
+    fault_spec=None,
+    with_events=False,
 ):
     """Warm-pool counterpart of :func:`_invoke`.
 
@@ -321,14 +421,23 @@ def _invoke_packed(
     per fingerprint per worker; busy time still covers only ``fn``
     itself, matching the fresh-pool accounting.  ``fault_spec`` is the
     parent's :data:`FAULT_ENV` value at submit time (a warm worker's
-    own environment predates the test arming the hook).
+    own environment predates the test arming the hook), and
+    ``with_events`` the parent's live telemetry state (a warm worker's
+    queue outlives any one map, so emission is decided per task, like
+    metrics).
     """
+    global _EVENT_LAST_BUSY_S
     _sync_warm_metrics(with_metrics)
     _maybe_inject_fault(label, index, spec=fault_spec)
     payload = load_packed(packed)
+    if with_events:
+        _emit_worker_event("started", label, index, flush=_slow_shards())
     t0 = time.perf_counter()
     result = fn(payload, task)
     busy_s = time.perf_counter() - t0
+    _EVENT_LAST_BUSY_S = busy_s
+    if with_events:
+        _emit_worker_event("finished", label, index, busy_s=round(busy_s, 6))
     registry = get_registry()
     snapshot = None
     if registry.enabled:
@@ -525,6 +634,14 @@ def parallel_map(
         path = "auto-inline" if auto_inlined else "inline"
         if metrics.enabled:
             metrics.counter("parallel.serial_maps").inc()
+        emit_event(
+            "round",
+            label=label,
+            phase="start",
+            path=path,
+            tasks=len(pending),
+            workers=1,
+        )
         inline_payload = (
             load_packed(payload)
             if isinstance(payload, PackedPayload)
@@ -542,6 +659,14 @@ def parallel_map(
             "pool-warm-reuse"
             if warm_ready
             else ("pool-warm" if use_warm else "pool-fresh")
+        )
+        emit_event(
+            "round",
+            label=label,
+            phase="start",
+            path=path,
+            tasks=len(pending),
+            workers=jobs,
         )
         with metrics.time(f"parallel.map.{label}"), span(
             "parallel-map",
@@ -600,6 +725,18 @@ def parallel_map(
         )
         for index in lost:
             results[index] = None
+            emit_event(
+                "progress", label=label, index=index, state="lost"
+            )
+    emit_event(
+        "round",
+        label=label,
+        phase="end",
+        path=path,
+        tasks=len(pending),
+        lost=len(lost),
+        wall_s=round(time.perf_counter() - t0, 4),
+    )
     return results
 
 
@@ -613,10 +750,36 @@ def _run_inline(fn, tasks, pending, payload, label, journal, results):
     wrapping in :class:`~repro.errors.TaskError` (needed on the pooled
     path, where the exception crossed a process boundary) would only
     obscure it.
+
+    Progress events are emitted straight to the bus (no queue -- the
+    shards run *in* the parent), so a live consumer sees the same
+    ``started``/``finished`` stream regardless of the execution path.
     """
+    bus = get_event_bus()
+    pid = os.getpid()
     for index in pending:
         _maybe_inject_fault(label, index)
+        if bus is not None:
+            bus.emit(
+                "progress",
+                label=label,
+                index=index,
+                state="started",
+                pid=pid,
+                t_worker=time.time(),
+            )
+            t0 = time.perf_counter()
         result = fn(payload, tasks[index])
+        if bus is not None:
+            bus.emit(
+                "progress",
+                label=label,
+                index=index,
+                state="finished",
+                pid=pid,
+                t_worker=time.time(),
+                busy_s=round(time.perf_counter() - t0, 6),
+            )
         results[index] = result
         if journal is not None:
             journal.record(index, result)
@@ -687,6 +850,15 @@ def _run_pooled(
             return busy_total, remaining
         if metrics.enabled:
             metrics.counter("parallel.retries").inc(len(remaining))
+        for index in remaining:
+            emit_event(
+                "progress",
+                label=label,
+                index=index,
+                state="retrying",
+                attempt=attempt,
+                retries=policy.retries,
+            )
         delay = policy.backoff_for(attempt)
         _log.warning(
             "retrying lost shards %s",
@@ -700,6 +872,102 @@ def _run_pooled(
         if delay > 0:
             time.sleep(delay)
     return busy_total, []
+
+
+class _EventPump:
+    """Drains one round's worker event queue into the parent bus.
+
+    A daemon thread forwards worker-originated ``progress`` dicts to
+    :meth:`~repro.obs.events.EventBus.emit_raw` (which stamps the
+    global ``seq``) and interleaves ``heartbeat`` events -- one
+    immediately at round start, one every ``bus.heartbeat_s`` while
+    shards are in flight, and one final beat at round end -- carrying
+    done/total progress, elapsed wall time, and a linear ETA.  A
+    stalled round therefore still produces heartbeats (with a frozen
+    ``done``), which is exactly the signal ``repro-ser obs tail``
+    turns into stall warnings; a *silent* stream means the parent
+    itself died.
+    """
+
+    #: Queue poll period [s]; bounds both heartbeat jitter and how
+    #: long stop() can lag the round's end.
+    _POLL_S = 0.05
+
+    def __init__(self, bus, queue, label: str, total: int):
+        self.bus = bus
+        self.queue = queue
+        self.label = label
+        self.total = total
+        self.done = 0
+        self._t0 = time.monotonic()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"event-pump-{label}", daemon=True
+        )
+        self._thread.start()
+
+    def _heartbeat(self, final: bool = False):
+        elapsed = time.monotonic() - self._t0
+        eta = None
+        if 0 < self.done < self.total:
+            eta = elapsed / self.done * (self.total - self.done)
+        self.bus.emit(
+            "heartbeat",
+            label=self.label,
+            done=self.done,
+            total=self.total,
+            elapsed_s=round(elapsed, 4),
+            eta_s=round(eta, 4) if eta is not None else None,
+            final=final,
+        )
+
+    def _forward(self, item):
+        # workers coalesce: one queue message is a batch (list) of
+        # progress events, kept in emission order.
+        events = item if isinstance(item, list) else [item]
+        for event in events:
+            if event.get("state") == "finished":
+                self.done += 1
+            self.bus.emit_raw(event)
+
+    def _drain(self):
+        while True:
+            try:
+                event = self.queue.get_nowait()
+            except (queue_mod.Empty, OSError, ValueError):
+                return
+            if event is not None:
+                self._forward(event)
+
+    def _run(self):
+        self._heartbeat()
+        next_beat = self._t0 + self.bus.heartbeat_s
+        while not self._stop.is_set():
+            try:
+                event = self.queue.get(timeout=self._POLL_S)
+            except queue_mod.Empty:
+                event = None
+            except (OSError, ValueError):  # queue torn down under us
+                break
+            if event is not None:
+                self._forward(event)
+            if time.monotonic() >= next_beat:
+                self._heartbeat()
+                next_beat = time.monotonic() + self.bus.heartbeat_s
+
+    def stop(self):
+        """End the round: drain stragglers, emit the final heartbeat."""
+        self._stop.set()
+        # A ``None`` sentinel wakes the poll loop immediately -- without
+        # it every round's teardown eats up to a full _POLL_S, which
+        # dominates sweeps made of many short campaign maps.
+        try:
+            self.queue.put_nowait(None)
+        except (OSError, ValueError):  # pragma: no cover -- torn down
+            pass
+        self._thread.join(timeout=5.0)
+        self._drain()
+        self._heartbeat(final=True)
 
 
 def _run_round(
@@ -732,17 +1000,29 @@ def _run_round(
     immediately, so even a round that ends badly keeps its credit.
     """
     warm = packed is not None
+    bus = get_event_bus()
+    fresh_queue = None
     if warm:
         executor, _reused = get_lease().acquire(
             context, jobs, initializer=_warm_worker_init
         )
+        event_queue = get_lease().event_queue(context, jobs)
     else:
+        # fresh pools are born and die with the round, so the queue
+        # only needs to exist when someone will drain it.
+        fresh_queue = context.Queue() if bus is not None else None
+        event_queue = fresh_queue
         executor = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(payload, metrics.enabled),
+            initargs=(payload, metrics.enabled, event_queue),
         )
+    pump = (
+        _EventPump(bus, event_queue, label, len(indices))
+        if bus is not None and event_queue is not None
+        else None
+    )
     transient: List[int] = []
     fatal = None
     busy_total = 0.0
@@ -761,6 +1041,7 @@ def _run_round(
                         packed,
                         metrics.enabled,
                         fault_spec,
+                        bus is not None,
                     ): i
                     for i in indices
                 }
@@ -826,8 +1107,16 @@ def _run_round(
                 waiting.clear()
         return transient, None, busy_total
     finally:
+        if pump is not None:
+            pump.stop()
         if warm:
             if not healthy:
                 get_lease().invalidate(context, jobs)
         else:
             _shutdown_executor(executor)
+            if fresh_queue is not None:
+                try:
+                    fresh_queue.close()
+                    fresh_queue.cancel_join_thread()
+                except (OSError, ValueError):  # pragma: no cover
+                    pass

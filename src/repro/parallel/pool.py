@@ -23,6 +23,17 @@ Warm workers are started *without* a payload: each task ships a
 rebuilds once per distinct payload fingerprint (see
 :mod:`repro.parallel.shm`).
 
+Each warm pool also owns one ``multiprocessing`` **event queue**,
+created alongside the executor and handed to every worker through the
+pool initializer (queues are only picklable at process-construction
+time, so the queue must exist *before* the workers do -- per-map
+plumbing would be too late for workers that outlive the map).  Workers
+push small telemetry dicts (shard started/finished, see
+:mod:`repro.obs.events`) through it mid-round; the engine's pump
+thread drains it into the parent :class:`~repro.obs.events.EventBus`.
+The queue always exists -- whether anything flows is decided per task
+by the parent's live telemetry state, so an idle queue costs one pipe.
+
 Disable with ``REPRO_NO_WARM_POOL=1``, ``--no-warm-pool``, or
 :func:`set_warm_pool_default` -- maps then fall back to the historical
 pool-per-call behavior, with identical results either way.
@@ -83,6 +94,7 @@ class PoolLease:
     def __init__(self):
         self._owner_pid = os.getpid()
         self._pools: Dict[Tuple[str, int], ProcessPoolExecutor] = {}
+        self._queues: Dict[Tuple[str, int], object] = {}
         self._atexit_registered = False
 
     def __len__(self) -> int:
@@ -92,6 +104,20 @@ class PoolLease:
         """Whether a healthy warm pool for this key is already up."""
         executor = self._pools.get(_pool_key(context, jobs))
         return executor is not None and not self._broken(executor)
+
+    def event_queue(self, context, jobs: int):
+        """The telemetry queue wired into this key's workers (or None)."""
+        return self._queues.get(_pool_key(context, jobs))
+
+    @staticmethod
+    def _close_queue(queue) -> None:
+        if queue is None:
+            return
+        try:
+            queue.close()
+            queue.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover -- defensive
+            pass
 
     @staticmethod
     def _broken(executor: ProcessPoolExecutor) -> bool:
@@ -114,6 +140,13 @@ class PoolLease:
             return executor, True
         if executor is not None:
             self.invalidate(context, jobs)
+        # The telemetry queue must be born with the pool: queues are
+        # only picklable through the Process constructor, and warm
+        # workers outlive any single map.  Initializers take it as
+        # their first argument.
+        queue = context.Queue() if initializer is not None else None
+        if initializer is not None:
+            initargs = (queue,) + tuple(initargs)
         executor = ProcessPoolExecutor(
             max_workers=jobs,
             mp_context=context,
@@ -121,6 +154,8 @@ class PoolLease:
             initargs=initargs,
         )
         self._pools[key] = executor
+        if queue is not None:
+            self._queues[key] = queue
         if not self._atexit_registered:
             atexit.register(self.shutdown_all)
             self._atexit_registered = True
@@ -134,13 +169,16 @@ class PoolLease:
 
     def invalidate(self, context, jobs: int) -> None:
         """Discard a key's pool after a bad round (hard shutdown)."""
-        executor = self._pools.pop(_pool_key(context, jobs), None)
+        key = _pool_key(context, jobs)
+        executor = self._pools.pop(key, None)
         if executor is None:
+            self._close_queue(self._queues.pop(key, None))
             return
         # local import: engine imports this module at load time
         from .engine import _shutdown_executor
 
         _shutdown_executor(executor)
+        self._close_queue(self._queues.pop(key, None))
         metrics = get_registry()
         if metrics.enabled:
             metrics.counter("parallel.pool.invalidated").inc()
@@ -154,6 +192,7 @@ class PoolLease:
         """Tear every warm pool down (atexit hook; PID-guarded)."""
         if os.getpid() != self._owner_pid:
             self._pools.clear()
+            self._queues.clear()
             return
         from .engine import _shutdown_executor
 
@@ -170,6 +209,9 @@ class PoolLease:
                 except Exception:  # pragma: no cover -- defensive
                     _shutdown_executor(executor)
         self._pools.clear()
+        for queue in self._queues.values():
+            self._close_queue(queue)
+        self._queues.clear()
         metrics = get_registry()
         if metrics.enabled:
             metrics.gauge("parallel.pool.active").set(0)

@@ -41,6 +41,7 @@ from ..errors import ConfigError, WorkerCrashError
 from ..geometry import RayBatch, chord_lengths
 from ..layout import SramArrayLayout
 from ..obs import get_logger, get_registry, kv
+from ..obs.convergence import record_bin
 from ..parallel import parallel_map, spawn_seeds
 from ..physics import (
     ParticleType,
@@ -544,6 +545,18 @@ class ArraySerSimulator:
                 merged.n_fin_strikes,
                 elapsed,
             )
+        record_bin(
+            "array-mc",
+            trials=int(merged.n_particles),
+            pof=float(merged.pof_total),
+            particle=merged.particle_name,
+            vdd_v=float(merged.vdd_v),
+            energy_mev=(
+                float(merged.energy_mev)
+                if merged.energy_mev is not None
+                else None
+            ),
+        )
         return merged
 
     def _run_block(self, payload, block_size: int, seed) -> ArrayPofResult:

@@ -19,6 +19,7 @@ import numpy as np
 from ..devices import VariationModel
 from ..errors import ConfigError
 from ..obs import get_logger, get_registry, kv, span
+from ..obs.convergence import convergence_active, record_bin
 from ..parallel import parallel_map
 from .cell import SramCellDesign
 from .fastcell import KERNELS, FastCell
@@ -336,6 +337,30 @@ def characterize_cell(
                     samples=n_samples,
                 ),
             )
+
+        if convergence_active() and config.process_variation:
+            # One convergence bin per Vdd: each grid point is an
+            # n_samples-trial proportion, so the bin reports the
+            # least-converged point -- the grid value nearest 0.5,
+            # where the binomial bound peaks.
+            for v_i, vdd in enumerate(config.vdd_list):
+                values = np.concatenate(
+                    [
+                        pof_grids[combo][v_i].ravel()
+                        for combo in ALL_COMBOS
+                    ]
+                )
+                worst_p = (
+                    float(values[np.argmin(np.abs(values - 0.5))])
+                    if values.size
+                    else 0.0
+                )
+                record_bin(
+                    "characterize",
+                    trials=int(n_samples),
+                    pof=worst_p,
+                    vdd_v=float(vdd),
+                )
 
     return PofTable(
         vdd_list=np.array(config.vdd_list),

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import ConfigError, LookupError_
 from ..obs import get_logger, kv, span
+from ..obs.convergence import record_bin
 from ..parallel import parallel_map, spawn_seeds
 from ..physics import ParticleType, get_particle
 from .engine import TransportConfig, TransportEngine
@@ -258,6 +259,14 @@ class ElectronYieldLUT:
                 hit_fraction[i] = (
                     n_hits / effective_trials if effective_trials else 0.0
                 )
+                if effective_trials:
+                    record_bin(
+                        "yield-lut",
+                        trials=int(effective_trials),
+                        pof=float(hit_fraction[i]),
+                        particle=particle.name,
+                        energy_mev=float(energies[i]),
+                    )
                 _log.debug(
                     "yield LUT energy point %s",
                     kv(

@@ -365,3 +365,186 @@ class TestInstrumentedFlow:
             if json.loads(line).get("type") == "span"
         }
         assert {"cli.fit", "fit", "pof-table", "yield-luts"} <= names
+
+
+class TestQuantiles:
+    """Timer/histogram quantiles: the p50/p99 surfaced in manifests."""
+
+    def test_timer_exact_quantiles_in_snapshot(self):
+        timer = MetricsRegistry().timer("t")
+        for value in range(1, 101):  # 0.01 .. 1.00 s
+            timer.observe(value / 100.0)
+        assert timer.quantile(0.5) == pytest.approx(0.50, abs=0.01)
+        snap = timer.snapshot()
+        assert snap["p50_s"] == pytest.approx(0.50, abs=0.01)
+        assert snap["p99_s"] == pytest.approx(0.99, abs=0.01)
+        assert snap["samples"]  # retention buffer travels with snapshots
+
+    def test_timer_decimation_keeps_quantiles_representative(self):
+        from repro.obs.registry import TIMER_MAX_SAMPLES
+
+        timer = MetricsRegistry().timer("t")
+        n = TIMER_MAX_SAMPLES * 8
+        for value in range(n):
+            timer.observe(value / n)
+        assert timer.count == n
+        assert len(timer.samples) <= TIMER_MAX_SAMPLES
+        # uniform stride-doubling subsample: quantiles stay close
+        assert timer.quantile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert timer.quantile(0.99) == pytest.approx(0.99, abs=0.05)
+
+    def test_timer_merge_folds_samples(self):
+        a = MetricsRegistry().timer("t")
+        b = MetricsRegistry().timer("t")
+        for value in (0.1, 0.2, 0.3):
+            a.observe(value)
+        for value in (0.7, 0.8, 0.9):
+            b.observe(value)
+        a.merge(b.snapshot())
+        assert a.count == 6
+        assert a.quantile(0.5) == pytest.approx(0.5, abs=0.21)
+        assert a.max_s == pytest.approx(0.9)
+
+    def test_histogram_interpolated_quantiles(self):
+        histogram = Histogram("h", edges=(1.0, 2.0, 4.0))
+        for _ in range(50):
+            histogram.observe(1.5)
+        for _ in range(50):
+            histogram.observe(3.0)
+        # p50 lands at the boundary between the two occupied bins
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+        assert 2.0 <= histogram.quantile(0.99) <= 4.0
+        snap = histogram.snapshot()
+        assert snap["p50"] == histogram.quantile(0.5)
+        assert snap["p99"] == histogram.quantile(0.99)
+
+    def test_histogram_overflow_bin_reports_last_edge(self):
+        histogram = Histogram("h", edges=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.quantile(0.5) == 2.0
+
+    def test_histogram_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(1.0,)).quantile(1.5)
+
+    def test_empty_instruments_report_zero(self):
+        assert MetricsRegistry().timer("t").quantile(0.5) == 0.0
+        assert Histogram("h", edges=(1.0,)).quantile(0.5) == 0.0
+
+
+class TestJsonlWriter:
+    def test_append_and_read(self, tmp_path):
+        from repro.obs import JsonlWriter, read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        writer = JsonlWriter(path, header={"type": "test", "format": 1})
+        writer.write({"type": "rec", "i": 1})
+        writer.write({"type": "rec", "i": 2})
+        writer.close()
+        records, invalid = read_jsonl(path)
+        assert invalid == 0
+        assert records[0]["type"] == "test"  # header first
+        assert [r["i"] for r in records[1:]] == [1, 2]
+
+    def test_torn_line_tolerated(self, tmp_path):
+        from repro.obs import JsonlWriter, read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        writer = JsonlWriter(path)
+        writer.write({"type": "rec", "i": 1})
+        writer.close()
+        with open(path, "a") as handle:
+            handle.write('{"type": "rec", "i":')  # a crash mid-append
+        records, invalid = read_jsonl(path)
+        assert [r["i"] for r in records] == [1]
+        assert invalid == 1
+
+    def test_size_rotation_keeps_one_generation(self, tmp_path):
+        from repro.obs import JsonlWriter, read_jsonl
+
+        path = tmp_path / "x.jsonl"
+        writer = JsonlWriter(path, max_bytes=1024)
+        for i in range(200):
+            writer.write({"type": "rec", "i": i, "pad": "y" * 40})
+        writer.close()
+        rotated = tmp_path / "x.jsonl.1"
+        assert rotated.exists()
+        assert path.stat().st_size <= 2048  # fresh generation stays small
+        for part in (path, rotated):
+            _, invalid = read_jsonl(part)
+            assert invalid == 0
+
+    def test_writes_survive_after_close_as_noop(self, tmp_path):
+        from repro.obs import JsonlWriter
+
+        writer = JsonlWriter(tmp_path / "x.jsonl")
+        writer.close()
+        writer.write({"type": "rec"})  # must not raise
+
+
+class TestManifestEnvironment:
+    def test_capture_environment_reports_kill_switches(self, monkeypatch):
+        from repro.obs import capture_environment
+
+        monkeypatch.setenv("REPRO_NO_WARM_POOL", "1")
+        monkeypatch.delenv("REPRO_NO_SHM", raising=False)
+        env = capture_environment({"jobs": 4, "backend": "numpy"})
+        assert env["env"]["REPRO_NO_WARM_POOL"] == "1"
+        assert env["env"]["REPRO_NO_SHM"] is None  # recorded even unset
+        assert env["warm_pool_enabled"] is False  # effective, post-env
+        assert env["n_jobs"] == 4
+        assert env["backend"] == "numpy"
+        assert env["cpu_count"] >= 1
+
+    def test_build_manifest_embeds_environment_and_strips_samples(self):
+        from repro.obs import capture_environment  # noqa: F401
+
+        registry = enable_metrics(fresh=True)
+        registry.timer("stage.fit").observe(0.5)
+        manifest = build_manifest(
+            command="fit",
+            argv=["fit"],
+            config={"jobs": 2},
+            seed=1,
+            started_at="2026-01-01T00:00:00Z",
+            duration_s=1.0,
+            exit_code=0,
+            version="test",
+        )
+        assert manifest.environment["n_jobs"] == 2
+        assert "REPRO_NO_WARM_POOL" in manifest.environment["env"]
+        stats = manifest.stage_timings_s["fit"]
+        assert "p50_s" in stats and "p99_s" in stats
+        # the raw retention buffer stays out of the derived section
+        assert "samples" not in stats
+        assert manifest.metrics["timers"]["stage.fit"]["samples"]
+        # and survives a dict round-trip
+        clone = RunManifest.from_dict(manifest.to_dict())
+        assert clone.environment == manifest.environment
+
+    def test_manifest_convergence_bins_section(self):
+        from repro.obs import record_bin, reset_convergence
+
+        enable_metrics(fresh=True)
+        reset_convergence()
+        try:
+            record_bin(
+                "fit", trials=500, pof=0.2, particle="alpha", vdd_v=0.8
+            )
+            manifest = build_manifest(
+                command="fit",
+                argv=["fit"],
+                config={},
+                seed=None,
+                started_at="2026-01-01T00:00:00Z",
+                duration_s=1.0,
+                exit_code=0,
+                version="test",
+            )
+        finally:
+            reset_convergence()
+        bins = manifest.convergence_bins
+        assert bins["bins"] == 1
+        assert bins["total_trials"] == 500
+        assert bins["worst_bin"] == "fit.alpha.vdd=0.8"
+        assert bins["p50_se"] == pytest.approx((0.2 * 0.8 / 500) ** 0.5)
