@@ -1,9 +1,14 @@
 """Per-figure series generation and shape analysis of results."""
 
 from .convergence import (
+    BinBudgetState,
     ConvergenceEstimate,
+    StratumState,
+    allocate_blocks,
+    build_energy_tilt,
     estimate_pof_error,
     pof_standard_error,
+    split_blocks_across_strata,
 )
 from .export import export_figures
 from .figures import (
@@ -36,6 +41,11 @@ __all__ = [
     "ConvergenceEstimate",
     "estimate_pof_error",
     "pof_standard_error",
+    "BinBudgetState",
+    "StratumState",
+    "allocate_blocks",
+    "split_blocks_across_strata",
+    "build_energy_tilt",
     "ser_sensitivities",
     "SensitivityResult",
     "SENSITIVITY_PARAMETERS",

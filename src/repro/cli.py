@@ -29,6 +29,16 @@ the execution-engine knobs (see ``docs/performance.md``):
 * ``--no-shm``       -- disable the shared-memory payload plane (bulk
   arrays pickle inline with every map).
 
+the adaptive-sampling knobs (see ``docs/performance.md``):
+
+* ``--adaptive``     -- adaptive trial allocation + stratified
+  sampling for the FIT campaigns (``--mc-particles`` becomes the
+  per-bin trial ceiling).
+* ``--target-se SE`` / ``--target-se-relative`` -- per-bin POF
+  standard-error stopping target (absolute, or relative to the POF).
+* ``--max-trials N`` / ``--pilot-trials N`` -- per-bin ceiling and
+  the uniform pilot budget of round 0.
+
 plus the observability flags (see ``docs/observability.md``):
 
 * ``--log-level {debug,info,warning,error}`` -- diagnostic logging to
@@ -214,6 +224,48 @@ def _add_common(parser):
         help="neglect process variation (nominal binary POFs)",
     )
     _add_cell_kernel(parser)
+    _add_adaptive(parser)
+
+
+def _add_adaptive(parser):
+    group = parser.add_argument_group("adaptive sampling")
+    group.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="replace the uniform per-bin trial budget with adaptive "
+        "allocation + stratified sampling (see docs/performance.md); "
+        "--mc-particles then acts as the per-bin trial ceiling",
+    )
+    group.add_argument(
+        "--target-se",
+        type=float,
+        default=5e-4,
+        metavar="SE",
+        help="per-bin POF standard-error target for --adaptive "
+        "(default: 5e-4)",
+    )
+    group.add_argument(
+        "--target-se-relative",
+        action="store_true",
+        help="interpret --target-se relative to each bin's POF "
+        "estimate instead of absolutely",
+    )
+    group.add_argument(
+        "--max-trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hard per-bin trial ceiling for --adaptive "
+        "(default: --mc-particles)",
+    )
+    group.add_argument(
+        "--pilot-trials",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="uniform pilot trials per bin before adaptive rounds "
+        "(default: 8192)",
+    )
 
 
 def _add_cell_kernel(parser):
@@ -245,10 +297,19 @@ def _add_cell_kernel(parser):
 
 def _make_flow(args, vdd_list=None):
     from .core import FlowConfig, SerFlow
+    from .ser import AdaptiveConfig
     from .sram import CharacterizationConfig
 
     particles = tuple(p.strip() for p in args.particles.split(",") if p.strip())
     vdds = tuple(vdd_list) if vdd_list else (0.7, 0.8, 0.9, 1.0, 1.1)
+    adaptive = None
+    if getattr(args, "adaptive", False):
+        adaptive = AdaptiveConfig(
+            target_se=args.target_se,
+            relative_target=args.target_se_relative,
+            pilot_trials=args.pilot_trials,
+            max_trials=args.max_trials,
+        )
     config = FlowConfig(
         particles=particles,
         vdd_list=vdds,
@@ -264,6 +325,7 @@ def _make_flow(args, vdd_list=None):
         process_variation=not args.no_variation,
         mc_particles_per_bin=args.mc_particles,
         seed=args.seed,
+        adaptive=adaptive,
     )
     return SerFlow(
         config,

@@ -19,6 +19,7 @@ build up LUTs" is honored across process restarts.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -48,6 +49,9 @@ from ..sram.characterize import (
     characterize_shard_encode,
 )
 from ..ser import (
+    AdaptiveBin,
+    AdaptiveCampaignController,
+    AdaptiveConfig,
     ArrayMcConfig,
     ArrayPofResult,
     ArraySerSimulator,
@@ -55,6 +59,7 @@ from ..ser import (
     SerSweep,
     integrate_fit,
 )
+from ..ser.mc import array_shard_decode, array_shard_encode
 from ..transport import ElectronYieldLUT, TransportEngine
 from ..transport.lut import lut_shard_decode, lut_shard_encode
 
@@ -109,6 +114,13 @@ class FlowConfig:
     #: Per-particle (e_min, e_max) folded into the FIT integral; None
     #: selects :data:`DEFAULT_ENERGY_RANGES`.
     energy_ranges: Optional[Dict[str, Tuple[float, float]]] = None
+    #: Adaptive trial allocation for the FIT campaigns (None = the
+    #: historical uniform ``mc_particles_per_bin`` budget).  Unlike the
+    #: execution knobs on :class:`SerFlow` this *changes results*
+    #: (per-bin trial counts, stratified estimator), so it lives on the
+    #: config and perturbs cache keys.  ``max_trials=None`` inherits
+    #: ``mc_particles_per_bin`` as the per-bin ceiling.
+    adaptive: Optional[AdaptiveConfig] = None
 
     def __post_init__(self):
         if not self.particles:
@@ -509,15 +521,79 @@ class SerFlow:
         e_lo, e_hi = self.config.energy_range_for(particle_name)
         bins = spectrum.make_bins(self.config.n_energy_bins, e_lo, e_hi)
         with span("fit", particle=particle_name, vdd=vdd_v, bins=len(bins)):
-            results = self._run_campaigns(
-                "fit",
-                particle,
-                vdd_v,
-                [float(energy) for energy in bins.representative_mev],
-                self.config.mc_particles_per_bin,
-            )
+            energies = [float(energy) for energy in bins.representative_mev]
+            if self.config.adaptive is not None:
+                results = self._run_campaigns_adaptive(
+                    "fit", particle, vdd_v, energies
+                )
+            else:
+                results = self._run_campaigns(
+                    "fit",
+                    particle,
+                    vdd_v,
+                    energies,
+                    self.config.mc_particles_per_bin,
+                )
             self._record_convergence(particle_name, vdd_v, results)
             return integrate_fit(particle_name, vdd_v, bins, results)
+
+    def _run_campaigns_adaptive(self, stage, particle, vdd_v, energies):
+        """Adaptive replacement for :meth:`_run_campaigns` (one result
+        per energy, in order).
+
+        One :class:`~repro.ser.AdaptiveCampaignController` drives all
+        energy bins of the (particle, vdd) case together, so rounds
+        compete for draw blocks across the whole scan.  It shares the
+        flow's packed payload (warm pool + shm plane reuse across
+        rounds), derives each bin's root seed from
+        :meth:`_campaign_seed` (pure function of the flow seed), and
+        journals every round under the cache dir so ``--resume``
+        replays the identical allocation sequence.
+        """
+        bins = [
+            AdaptiveBin(particle.name, energy, float(vdd_v))
+            for energy in energies
+        ]
+
+        def seed_for(bin_):
+            return self._campaign_seed(
+                "adaptive",
+                stage,
+                bin_.particle_name,
+                f"{bin_.vdd_v:g}",
+                f"{bin_.energy_mev:.9g}",
+            )
+
+        def journal_factory(round_index):
+            return self._journal_for(
+                f"{stage}-{particle.name}-adaptive-r{round_index:04d}",
+                array_shard_encode,
+                array_shard_decode,
+                self.config,
+                self.design.tech,
+                {
+                    "stage": stage,
+                    "particle": particle.name,
+                    "vdd": f"{vdd_v:g}",
+                    "energies": [f"{energy:.9g}" for energy in energies],
+                    "round": int(round_index),
+                },
+            )
+
+        controller = AdaptiveCampaignController(
+            self.simulator(),
+            self.config.adaptive,
+            n_jobs=self.n_jobs,
+            retry=self.retry,
+            warm_pool=self.warm_pool,
+            shm=self.shm,
+            payload=self._campaign_payload(),
+            journal_factory=journal_factory,
+            stage=f"adaptive-{stage}",
+            default_max_trials=self.config.mc_particles_per_bin,
+        )
+        report = controller.run(bins, seed_for)
+        return report.results
 
     def _record_convergence(self, particle_name, vdd_v, results):
         """Per-bin POF standard errors into metrics, events, tracker.
@@ -552,10 +628,13 @@ class SerFlow:
                 vdd_v=vdd_v,
                 energy_mev=float(result.energy_mev),
             )
-        worst = max(errors) if errors else 0.0
+        # zero-hit / degraded bins report SE = nan ("unknown"); they
+        # must not poison the worst-bin gauge or the histogram
+        finite = [error for error in errors if math.isfinite(error)]
+        worst = max(finite) if finite else 0.0
         if metrics.enabled:
             histogram = metrics.histogram("fit.pof_standard_error")
-            for error in errors:
+            for error in finite:
                 histogram.observe(error)
             metrics.gauge(
                 f"fit.pof_se.{particle_name}.vdd={vdd_v:g}"

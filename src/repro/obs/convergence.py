@@ -225,9 +225,12 @@ def record_bin(
     if metrics.enabled:
         metrics.gauge(f"convergence.{key}").set(standard_error)
         metrics.counter(f"convergence.trials.{stage}").inc(int(trials))
-        metrics.histogram("convergence.pof_se", SE_EDGES).observe(
-            standard_error
-        )
+        # nan means "SE unknown" (zero-hit / degraded bins) -- a real
+        # observation would corrupt the histogram's quantiles
+        if math.isfinite(standard_error):
+            metrics.histogram("convergence.pof_se", SE_EDGES).observe(
+                standard_error
+            )
     emit_event(
         "convergence",
         stage=stage,

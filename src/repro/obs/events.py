@@ -21,6 +21,9 @@ Event kinds
   run; ``repro-ser obs tail`` turns that into stall warnings.
 * ``convergence`` — one (stage, particle, Vdd, energy) bin's trial
   count and POF standard error (see :mod:`repro.obs.convergence`).
+* ``allocation`` — one adaptive-campaign round's draw-block
+  allocation: which bins got blocks, trials assigned, bins converged
+  so far (see :mod:`repro.ser.adaptive`).
 
 Every event is a flat JSON-safe dict stamped by the parent-process
 :class:`EventBus` with a monotonically increasing ``seq`` — the total
@@ -65,7 +68,7 @@ __all__ = [
     "DEFAULT_HEARTBEAT_S",
 ]
 
-EVENT_KINDS = ("round", "progress", "heartbeat", "convergence")
+EVENT_KINDS = ("round", "progress", "heartbeat", "convergence", "allocation")
 
 #: Default capacity of the in-memory ring.
 DEFAULT_RING_SIZE = 4096

@@ -103,6 +103,15 @@ def format_event(event: dict, t0: Optional[float] = None) -> str:
         if se is not None:
             body += f" se={se:.3g}"
         body += f" trials={event.get('trials', '?')}"
+    elif kind == "allocation":
+        bins = event.get("bins") or {}
+        body = (
+            f"{label} round={event.get('round', '?')}"
+            f" blocks={event.get('blocks', '?')}"
+            f" trials={event.get('trials', '?')}"
+            f" bins={len(bins)}"
+            f" converged={event.get('converged', '?')}"
+        )
     else:
         body = json.dumps(
             {k: v for k, v in event.items() if k not in ("type", "seq", "t")},
@@ -394,6 +403,7 @@ def diff_manifests(
         "convergence_bins",
         "fault_tolerance",
         "parallel",
+        "adaptive",
     )
     flat_a: Dict[str, object] = {}
     flat_b: Dict[str, object] = {}
@@ -432,8 +442,9 @@ def bench_check(
     """Regression-gate the newest entry of a ``BENCH_*.json`` trajectory.
 
     The benchmark files are append-only lists of runs; the key figure
-    is ``speedup`` (flow/parallel benches) or
-    ``speedup_default_vs_seed`` (characterization bench).  The check
+    is ``speedup`` (flow/parallel benches),
+    ``speedup_default_vs_seed`` (characterization bench) or
+    ``trial_savings`` (adaptive-sampling bench).  The check
     passes when the newest entry's figure is within ``max_regress``
     (relative) of the best figure in its history -- a one-entry file
     passes trivially (nothing to regress against).  Entries from a
@@ -446,7 +457,7 @@ def bench_check(
     if not isinstance(entries, list) or not entries:
         return False, f"{path}: not a benchmark trajectory (expected a list)"
     metric = None
-    for candidate in ("speedup", "speedup_default_vs_seed"):
+    for candidate in ("speedup", "speedup_default_vs_seed", "trial_savings"):
         if candidate in entries[-1]:
             metric = candidate
             break

@@ -9,7 +9,7 @@ writes one; :func:`RunManifest.from_dict` round-trips it.
 
 Convenience sections (``stage_timings_s``, ``mc``, ``lut_cache``,
 ``convergence``, ``convergence_bins``, ``fault_tolerance``,
-``parallel``) are *derived* from the full metrics snapshot kept in
+``parallel``, ``adaptive``) are *derived* from the full metrics snapshot kept in
 ``metrics`` — the snapshot is the ground truth, the sections are what
 a human greps for first.  The ``environment`` section additionally
 captures the live execution-plane state (kill-switch environment
@@ -112,6 +112,7 @@ class RunManifest:
     convergence_bins: dict = field(default_factory=dict)
     fault_tolerance: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
+    adaptive: dict = field(default_factory=dict)
     environment: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
@@ -135,6 +136,7 @@ class RunManifest:
             "convergence_bins": self.convergence_bins,
             "fault_tolerance": self.fault_tolerance,
             "parallel": self.parallel,
+            "adaptive": self.adaptive,
             "environment": self.environment,
             "metrics": self.metrics,
         }
@@ -181,6 +183,7 @@ class RunManifest:
             convergence_bins=dict(payload.get("convergence_bins", {})),
             fault_tolerance=dict(payload.get("fault_tolerance", {})),
             parallel=dict(payload.get("parallel", {})),
+            adaptive=dict(payload.get("adaptive", {})),
             environment=dict(payload.get("environment", {})),
             metrics=dict(payload.get("metrics", {})),
         )
@@ -288,6 +291,14 @@ def build_manifest(
         "shm_fallbacks": counters.get("parallel.shm.fallback", 0),
         "worker_payload_hits": counters.get("parallel.shm.payload_hits", 0),
     }
+    adaptive = {
+        "rounds": counters.get("adaptive.rounds", 0),
+        "blocks": counters.get("adaptive.blocks", 0),
+        "trials": counters.get("adaptive.trials", 0),
+        "bins": counters.get("adaptive.bins", 0),
+        "bins_converged": counters.get("adaptive.bins_converged", 0),
+        "bins_at_ceiling": counters.get("adaptive.bins_ceiling", 0),
+    }
     from .convergence import get_convergence_tracker
 
     convergence_bins = get_convergence_tracker().summary()
@@ -307,6 +318,7 @@ def build_manifest(
         convergence_bins=convergence_bins,
         fault_tolerance=fault_tolerance,
         parallel=parallel,
+        adaptive=adaptive,
         environment=capture_environment(config),
         metrics=snapshot,
     )

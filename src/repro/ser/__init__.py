@@ -18,8 +18,24 @@ from .mc import (
 )
 from .pof import combine, combine_mbu, combine_seu, combine_total
 from .results import SerSweep
+from .adaptive import (
+    AdaptiveBin,
+    AdaptiveCampaignController,
+    AdaptiveConfig,
+    AdaptiveReport,
+    AdaptiveRoundRecord,
+    energy_strata,
+    position_strata,
+)
 
 __all__ = [
+    "AdaptiveBin",
+    "AdaptiveCampaignController",
+    "AdaptiveConfig",
+    "AdaptiveReport",
+    "AdaptiveRoundRecord",
+    "position_strata",
+    "energy_strata",
     "ArrayMcConfig",
     "ArrayPofResult",
     "ArraySerSimulator",

@@ -49,6 +49,7 @@ from ..physics import (
     sample_pairs,
     sample_rays,
 )
+from ..physics.sampling import sample_directions
 from ..sram import PofTable
 from ..transport import ElectronYieldLUT
 from .pof import _ONE_MINUS_EPS, combine, multiplicity_pmf
@@ -137,30 +138,53 @@ class ArrayPofResult:
     #: convergence standard errors (which scale as ``1/sqrt(n)``) are
     #: correspondingly wider.
     degraded: bool = False
+    #: Stratified-sampling metadata (:mod:`repro.ser.adaptive`).  A
+    #: shard drawn from a sub-region of the launch window (or a
+    #: sub-band of the energy spectrum) carries the stratum's
+    #: probability mass in ``weight`` and its name in ``stratum``; its
+    #: ``pof_*`` values are then *conditional* on the stratum, and
+    #: :meth:`merge` recombines strata as ``sum_s w_s * mean_s`` -- the
+    #: exact unbiased estimator for the whole window.  Plain uniform
+    #: shards keep ``weight == 1.0`` and ``stratum is None``.
+    weight: float = 1.0
+    stratum: Optional[str] = None
+    #: Set only on results produced by a cross-stratum merge: the
+    #: unbiased whole-window hit fraction (``n_array_hits /
+    #: n_particles`` would over-count strata that were oversampled) and
+    #: the stratified estimator variance ``sum_s w_s^2 p_s (1-p_s) /
+    #: n_s`` consumed by
+    #: :func:`repro.analysis.convergence.pof_standard_error`.
+    hit_fraction_weighted: Optional[float] = None
+    pof_variance: Optional[float] = None
 
     @property
     def hit_fraction(self) -> float:
         """Fraction of launched tracks crossing the array bounding box."""
+        if self.hit_fraction_weighted is not None:
+            return self.hit_fraction_weighted
         return self.n_array_hits / self.n_particles
+
+    def _given_hit(self, pof_value: float) -> float:
+        if self.hit_fraction_weighted is None:
+            if self.n_array_hits == 0:
+                return 0.0
+            return pof_value * self.n_particles / self.n_array_hits
+        if self.hit_fraction_weighted <= 0.0:
+            return 0.0
+        return pof_value / self.hit_fraction_weighted
 
     @property
     def pof_total_given_hit(self) -> float:
         """POF conditional on hitting the array (Fig. 8 normalization)."""
-        if self.n_array_hits == 0:
-            return 0.0
-        return self.pof_total * self.n_particles / self.n_array_hits
+        return self._given_hit(self.pof_total)
 
     @property
     def pof_seu_given_hit(self) -> float:
-        if self.n_array_hits == 0:
-            return 0.0
-        return self.pof_seu * self.n_particles / self.n_array_hits
+        return self._given_hit(self.pof_seu)
 
     @property
     def pof_mbu_given_hit(self) -> float:
-        if self.n_array_hits == 0:
-            return 0.0
-        return self.pof_mbu * self.n_particles / self.n_array_hits
+        return self._given_hit(self.pof_mbu)
 
     @property
     def mbu_to_seu_ratio(self) -> float:
@@ -194,6 +218,16 @@ class ArrayPofResult:
         shards, or shards whose PMFs were tracked with different
         ``max_multiplicity`` settings, raise :class:`ConfigError`
         instead of silently producing a skewed merge.
+
+        When any shard carries stratified-sampling metadata (``stratum``
+        set or ``weight != 1``) the merge switches to the weighted
+        estimator: shards are pooled per stratum (in shard order, same
+        left-to-right summation as the plain path), the named strata are
+        recombined as ``sum_s w_s * mean_s`` (their weights must sum to
+        1), and any plain uniform shards are folded in by particle
+        count.  The result carries ``pof_variance`` /
+        ``hit_fraction_weighted`` and cannot be merged again (re-pooling
+        an already-recombined estimate would double-count the weights).
         """
         shards = list(shards)
         if not shards:
@@ -233,6 +267,16 @@ class ArrayPofResult:
         n_total = sum(shard.n_particles for shard in shards)
         if n_total < 1:
             raise ConfigError("merged shards contain no particles")
+
+        weighted = any(
+            shard.stratum is not None
+            or shard.weight != 1.0
+            or shard.pof_variance is not None
+            or shard.hit_fraction_weighted is not None
+            for shard in shards
+        )
+        if weighted:
+            return cls._merge_weighted(shards, n_total)
 
         # one vectorized pass over the shard axis; np.cumsum accumulates
         # strictly left-to-right (never pairwise like np.sum), so the
@@ -278,6 +322,155 @@ class ArrayPofResult:
             degraded=any(shard.degraded for shard in shards),
         )
 
+    @classmethod
+    def _merge_weighted(cls, shards, n_total) -> "ArrayPofResult":
+        """Stratified merge: pool per stratum, recombine by weight.
+
+        Estimator: ``pof = sum_s w_s * mean_s`` over the named strata
+        (exact unbiased reweighting of the conditional per-stratum
+        means), convexly combined by particle count with the pooled
+        mean of any plain uniform shards.  Per-group pooling uses the
+        same left-to-right ``np.cumsum`` summation as the plain merge,
+        so re-sharding within a stratum never changes a bit.
+        """
+        first = shards[0]
+        for shard in shards:
+            if (
+                shard.pof_variance is not None
+                or shard.hit_fraction_weighted is not None
+            ):
+                raise ConfigError(
+                    "cannot re-merge an already stratified-merged result: "
+                    "its strata were recombined and the per-stratum "
+                    "weights no longer apply"
+                )
+            if shard.stratum is None and shard.weight != 1.0:
+                raise ConfigError(
+                    "uniform (stratum=None) shards must have weight 1.0, "
+                    f"got {shard.weight!r}"
+                )
+
+        groups: Dict[Optional[str], List["ArrayPofResult"]] = {}
+        for shard in shards:  # dict preserves first-appearance order
+            groups.setdefault(shard.stratum, []).append(shard)
+
+        def pool(members):
+            """Particle-count-weighted pooling, exact cumsum order."""
+            n = sum(member.n_particles for member in members)
+            if n < 1:
+                raise ConfigError(
+                    f"stratum {members[0].stratum!r} has no particles"
+                )
+            counts = np.array(
+                [member.n_particles for member in members], dtype=np.float64
+            )
+            stack = np.array(
+                [
+                    [member.pof_total, member.pof_seu, member.pof_mbu]
+                    for member in members
+                ],
+                dtype=np.float64,
+            )
+            pofs = np.cumsum(stack * counts[:, np.newaxis], axis=0)[-1] / n
+            if first.multiplicity_pmf is None:
+                pmf = None
+            else:
+                pmf_stack = np.stack(
+                    [member.multiplicity_pmf for member in members]
+                ).astype(np.float64, copy=False)
+                pmf = (
+                    np.cumsum(pmf_stack * counts[:, np.newaxis], axis=0)[-1]
+                    / n
+                )
+            hits = sum(member.n_array_hits for member in members)
+            return n, pofs, pmf, hits
+
+        uniform = groups.pop(None, None)
+        if not groups:
+            raise ConfigError(
+                "weighted merge needs at least one named stratum"
+            )
+        stratum_weights = {}
+        for name, members in groups.items():
+            w = members[0].weight
+            for member in members[1:]:
+                if member.weight != w:
+                    raise ConfigError(
+                        f"stratum {name!r} shards disagree on weight "
+                        f"({w!r} vs {member.weight!r})"
+                    )
+            if not 0.0 < w <= 1.0:
+                raise ConfigError(
+                    f"stratum {name!r} weight {w!r} outside (0, 1]"
+                )
+            stratum_weights[name] = w
+        total_w = sum(stratum_weights.values())
+        if not math.isclose(total_w, 1.0, rel_tol=1e-6, abs_tol=1e-9):
+            raise ConfigError(
+                "stratum weights must sum to 1 over the merged shards "
+                f"(got {total_w!r} from {sorted(stratum_weights)}); "
+                "merge all strata of a campaign point together"
+            )
+
+        pmf_shape = (
+            None
+            if first.multiplicity_pmf is None
+            else np.zeros(len(first.multiplicity_pmf), dtype=np.float64)
+        )
+        n_str = 0
+        pof_str = np.zeros(3, dtype=np.float64)
+        pmf_str = pmf_shape
+        hit_str = 0.0
+        var_str = 0.0
+        for name, members in groups.items():
+            n_g, pofs_g, pmf_g, hits_g = pool(members)
+            w = stratum_weights[name]
+            n_str += n_g
+            pof_str += w * pofs_g
+            if pmf_str is not None:
+                pmf_str = pmf_str + w * pmf_g
+            hit_str += w * (hits_g / n_g)
+            p_g = min(max(float(pofs_g[0]), 0.0), 1.0)
+            var_str += w * w * p_g * (1.0 - p_g) / n_g
+
+        if uniform is not None:
+            n_u, pofs_u, pmf_u, hits_u = pool(uniform)
+            lam = n_u / (n_u + n_str)
+            pof_vec = lam * pofs_u + (1.0 - lam) * pof_str
+            pmf = (
+                None
+                if pmf_str is None
+                else lam * pmf_u + (1.0 - lam) * pmf_str
+            )
+            hit_frac = lam * (hits_u / n_u) + (1.0 - lam) * hit_str
+            p_u = min(max(float(pofs_u[0]), 0.0), 1.0)
+            variance = (
+                lam * lam * p_u * (1.0 - p_u) / n_u
+                + (1.0 - lam) * (1.0 - lam) * var_str
+            )
+        else:
+            pof_vec = pof_str
+            pmf = pmf_str
+            hit_frac = hit_str
+            variance = var_str
+
+        return cls(
+            particle_name=first.particle_name,
+            energy_mev=first.energy_mev,
+            vdd_v=first.vdd_v,
+            n_particles=n_total,
+            n_array_hits=sum(shard.n_array_hits for shard in shards),
+            n_fin_strikes=sum(shard.n_fin_strikes for shard in shards),
+            pof_total=float(pof_vec[0]),
+            pof_seu=float(pof_vec[1]),
+            pof_mbu=float(pof_vec[2]),
+            launch_area_cm2=first.launch_area_cm2,
+            multiplicity_pmf=pmf,
+            degraded=any(shard.degraded for shard in shards),
+            hit_fraction_weighted=float(hit_frac),
+            pof_variance=float(variance),
+        )
+
     # -- serialization (shard-journal checkpoints) ------------------------
 
     def to_dict(self) -> dict:
@@ -299,6 +492,16 @@ class ArrayPofResult:
                 None if pmf is None else np.asarray(pmf).tolist()
             ),
             "degraded": bool(self.degraded),
+            "weight": float(self.weight),
+            "stratum": self.stratum,
+            "hit_fraction_weighted": (
+                None
+                if self.hit_fraction_weighted is None
+                else float(self.hit_fraction_weighted)
+            ),
+            "pof_variance": (
+                None if self.pof_variance is None else float(self.pof_variance)
+            ),
         }
 
     @classmethod
@@ -322,6 +525,19 @@ class ArrayPofResult:
                 None if pmf is None else np.asarray(pmf, dtype=np.float64)
             ),
             degraded=bool(payload.get("degraded", False)),
+            # pre-stratification journals omit these keys entirely
+            weight=float(payload.get("weight", 1.0)),
+            stratum=payload.get("stratum"),
+            hit_fraction_weighted=(
+                None
+                if payload.get("hit_fraction_weighted") is None
+                else float(payload["hit_fraction_weighted"])
+            ),
+            pof_variance=(
+                None
+                if payload.get("pof_variance") is None
+                else float(payload["pof_variance"])
+            ),
         )
 
 
@@ -339,6 +555,32 @@ def _bundle_tasks(blocks, seeds, chunk_size: int):
     per_task = max(1, math.ceil(chunk_size / DRAW_BLOCK_SIZE))
     pairs = list(zip(blocks, seeds))
     return [pairs[i : i + per_task] for i in range(0, len(pairs), per_task)]
+
+
+def _sample_stratum_rays(n, rng, rects, z, law) -> RayBatch:
+    """Launch rays uniformly over a union of disjoint rectangles.
+
+    ``rects`` is a sequence of ``(x_lo, x_hi, y_lo, y_hi)`` launch-plane
+    rectangles making up one position stratum; a rectangle is picked
+    per ray with probability proportional to its area, then the origin
+    is uniform within it -- i.e. uniform over the union.  Directions
+    use the same angular law as unstratified sampling.
+    """
+    rects = np.asarray(rects, dtype=np.float64).reshape(-1, 4)
+    areas = (rects[:, 1] - rects[:, 0]) * (rects[:, 3] - rects[:, 2])
+    total = float(np.sum(areas))
+    if total <= 0.0:
+        raise ConfigError("position stratum has zero launch area")
+    if len(rects) == 1:
+        idx = np.zeros(n, dtype=np.intp)
+    else:
+        idx = rng.choice(len(rects), size=n, p=areas / total)
+    u = rng.random((n, 2))
+    origins = np.empty((n, 3), dtype=np.float64)
+    origins[:, 0] = rects[idx, 0] + u[:, 0] * (rects[idx, 1] - rects[idx, 0])
+    origins[:, 1] = rects[idx, 2] + u[:, 1] * (rects[idx, 3] - rects[idx, 2])
+    origins[:, 2] = z
+    return RayBatch(origins, sample_directions(n, rng, law))
 
 
 def _array_task(payload, task):
@@ -560,20 +802,38 @@ class ArraySerSimulator:
         return merged
 
     def _run_block(self, payload, block_size: int, seed) -> ArrayPofResult:
-        """One draw block: sample, strike, combine -- with its own stream."""
+        """One draw block: sample, strike, combine -- with its own stream.
+
+        An optional ``payload["stratum"]`` dict (see
+        :mod:`repro.ser.adaptive`) restricts the block to one sampling
+        stratum: ``rects`` confines launch positions to a union of
+        launch-plane rectangles and ``e_range`` overrides the spectrum
+        sub-band.  The block result then reports the stratum's name and
+        probability ``weight`` so :meth:`ArrayPofResult.merge` can
+        reweight it exactly; its POF values are conditional on the
+        stratum (``launch_area_cm2`` still names the full window).
+        """
         rng = np.random.default_rng(seed)
         x_range, y_range, z, launch_area = payload["window"]
+        stratum = payload.get("stratum")
         spectrum = payload["spectrum"]
         if spectrum is not None:
             e_min, e_max = payload["e_range"]
+            if stratum is not None and stratum.get("e_range") is not None:
+                e_min, e_max = stratum["e_range"]
             energy = spectrum.sample_energies(
                 block_size, rng, e_min_mev=e_min, e_max_mev=e_max
             )
         else:
             energy = payload["energy_mev"]
-        rays = sample_rays(
-            block_size, rng, x_range, y_range, z, payload["law"]
-        )
+        if stratum is not None and stratum.get("rects") is not None:
+            rays = _sample_stratum_rays(
+                block_size, rng, stratum["rects"], z, payload["law"]
+            )
+        else:
+            rays = sample_rays(
+                block_size, rng, x_range, y_range, z, payload["law"]
+            )
         totals, seus, mbus, hits, strikes, pmf = self._process_batch(
             payload["particle"], energy, payload["vdd_v"], rays, rng
         )
@@ -600,6 +860,8 @@ class ArraySerSimulator:
             pof_mbu=mbus / block_size,
             launch_area_cm2=launch_area,
             multiplicity_pmf=pmf / block_size,
+            weight=(1.0 if stratum is None else float(stratum["weight"])),
+            stratum=(None if stratum is None else stratum["name"]),
         )
 
     # -- instrumentation -------------------------------------------------------
