@@ -10,6 +10,11 @@ Subcommands mirror the flow stages:
 * ``sweep``      -- the full Fig. 9/10 evaluation sweep.
 * ``figures``    -- export every reproduced figure series as CSV.
 * ``report``     -- regenerate the paper's evaluation as markdown.
+* ``serve``      -- long-lived SER-service daemon: NDJSON queries over
+  a unix/TCP socket with single-flight coalescing, memoization,
+  admission control, and per-tenant fair scheduling (docs/service.md).
+* ``query``      -- client for ``serve``: one sweep (optionally with
+  ECC/interleave analysis), streamed progress with ``--watch``.
 
 Every subcommand accepts ``--jobs N`` to fan the Monte Carlo stages
 out across N worker processes (``0`` = one per CPU; results are
@@ -295,47 +300,58 @@ def _add_cell_kernel(parser):
     )
 
 
-def _make_flow(args, vdd_list=None):
-    from .core import FlowConfig, SerFlow
-    from .ser import AdaptiveConfig
-    from .sram import CharacterizationConfig
+def _spec_from_args(args, vdd_list=None):
+    """Compile parsed arguments into the canonical query spec.
+
+    The CLI no longer builds flows by hand: it states its question as
+    a :class:`~repro.service.QuerySpec` — the same schema the daemon
+    serves — so a one-shot command and the equivalent service query
+    are bit-identical and share every artifact-cache key.
+    """
+    from .service import QuerySpec
 
     particles = tuple(p.strip() for p in args.particles.split(",") if p.strip())
     vdds = tuple(vdd_list) if vdd_list else (0.7, 0.8, 0.9, 1.0, 1.1)
-    adaptive = None
-    if getattr(args, "adaptive", False):
-        adaptive = AdaptiveConfig(
-            target_se=args.target_se,
-            relative_target=args.target_se_relative,
-            pilot_trials=args.pilot_trials,
-            max_trials=args.max_trials,
-        )
-    config = FlowConfig(
+    return QuerySpec(
         particles=particles,
         vdd_list=vdds,
-        yield_trials_per_energy=args.yield_trials,
-        yield_energy_points=args.yield_points,
-        characterization=CharacterizationConfig(
-            vdd_list=vdds,
-            n_samples=args.samples,
-            kernel=args.cell_kernel,
-            early_exit=args.cell_early_exit,
-            max_batch=args.cell_max_batch,
-        ),
-        process_variation=not args.no_variation,
-        mc_particles_per_bin=args.mc_particles,
+        mc_particles=args.mc_particles,
+        samples=args.samples,
+        yield_trials=args.yield_trials,
+        yield_points=args.yield_points,
         seed=args.seed,
-        adaptive=adaptive,
+        variation=not args.no_variation,
+        cell_kernel=args.cell_kernel,
+        cell_early_exit=args.cell_early_exit,
+        cell_max_batch=args.cell_max_batch,
+        adaptive=getattr(args, "adaptive", False),
+        target_se=getattr(args, "target_se", 5e-4),
+        target_se_relative=getattr(args, "target_se_relative", False),
+        max_trials=getattr(args, "max_trials", None),
+        pilot_trials=getattr(args, "pilot_trials", 8192),
+        ecc=getattr(args, "ecc", None),
+        interleave=getattr(args, "interleave", 4),
+        ecc_pair_particles=getattr(args, "ecc_pair_particles", 20000),
     )
-    return SerFlow(
-        config,
-        cache_dir=args.cache_dir,
+
+
+def _exec_options(args):
+    from .service import ExecutionOptions
+
+    return ExecutionOptions(
+        cache_dir=getattr(args, "cache_dir", None),
         n_jobs=getattr(args, "jobs", 1),
         retry=_retry_policy(args),
         resume=getattr(args, "resume", True),
         warm_pool=getattr(args, "warm_pool", None),
         shm=getattr(args, "shm", None),
     )
+
+
+def _make_flow(args, vdd_list=None):
+    from .service import build_flow
+
+    return build_flow(_spec_from_args(args, vdd_list), _exec_options(args))
 
 
 def cmd_build_luts(args) -> int:
@@ -456,6 +472,129 @@ def cmd_info(args) -> int:
         f"  transit time tau({tech.vdd_nominal_v} V) = "
         f"{tech.transit_time_s(tech.vdd_nominal_v) * 1e15:.1f} fs"
     )
+    return 0
+
+
+def _add_endpoint(parser):
+    group = parser.add_argument_group("service endpoint")
+    group.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix socket path (default for serve: ./repro-ser.sock)",
+    )
+    group.add_argument(
+        "--host",
+        default=None,
+        metavar="ADDR",
+        help="TCP bind/connect address (with --port; default 127.0.0.1)",
+    )
+    group.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="N",
+        help="TCP port instead of a unix socket",
+    )
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .obs import get_event_bus
+    from .service import CampaignEngine, ServiceDaemon
+
+    socket_path = args.socket
+    if socket_path is None and args.port is None:
+        socket_path = "repro-ser.sock"
+    engine = CampaignEngine(
+        options=_exec_options(args),
+        max_concurrent=args.max_concurrent,
+        max_pending=args.max_pending,
+        memo_size=args.memo_size,
+    )
+    # watchers stream progress out of the ring; make sure one exists
+    # even when --events (which also configures a ring) was not given
+    if get_event_bus() is None:
+        configure_events(path=None)
+    daemon = ServiceDaemon(
+        engine, socket_path=socket_path, host=args.host, port=args.port
+    )
+    where = socket_path if socket_path else f"{args.host or '127.0.0.1'}:{args.port}"
+    _say(f"serving SER queries on {where} (ctrl-c or 'shutdown' op to stop)")
+    try:
+        asyncio.run(daemon.serve_until_shutdown())
+    except KeyboardInterrupt:  # pragma: no cover -- interactive
+        pass
+    finally:
+        engine.shutdown(wait=True, timeout_s=30.0)
+    stats = engine.stats()
+    _say(
+        f"served {stats['campaigns']} campaign(s) for "
+        f"{stats['requests']} request(s) "
+        f"({stats['coalesced']} coalesced, {stats['memo_hits']} memo hits)"
+    )
+    return 0
+
+
+def cmd_query(args) -> int:
+    import json as _json
+
+    from .service import ServiceClient, ServiceError
+
+    spec = _spec_from_args(
+        args,
+        vdd_list=[float(v) for v in args.vdd_list.split(",")],
+    )
+    events_seen = [0]
+
+    def on_event(event):
+        events_seen[0] += 1
+        kind = event.get("kind", "?")
+        label = event.get("label", "")
+        _say(f"  [{kind}] {label} {event.get('state', '')}".rstrip())
+
+    socket_path = args.socket
+    if socket_path is None and args.port is None:
+        socket_path = "repro-ser.sock"
+    client = ServiceClient(
+        socket_path=socket_path,
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout,
+    )
+    try:
+        with client:
+            reply = client.query(
+                spec,
+                tenant=args.tenant,
+                watch=args.watch,
+                on_event=on_event if args.watch else None,
+            )
+    except (ServiceError, OSError) as exc:
+        _say(f"query failed: {exc}")
+        return 1
+    result = reply["result"]
+    _say(
+        f"source={reply['source']}  wall={reply['wall_s']:.3f}s  "
+        f"key={result['key'][:16]}"
+    )
+    for case in result["cases"]:
+        _say(
+            f"{case['particle']:>7s}  vdd={case['vdd']:.2f} V  "
+            f"FIT={case['fit_total']:.4g}  SEU={case['fit_seu']:.4g}  "
+            f"MBU={case['fit_mbu']:.4g}  "
+            f"MBU/SEU={100 * case['mbu_to_seu_ratio']:.2f}%"
+        )
+    for analysis in result.get("ecc", []):
+        _say(
+            f"{analysis['particle']:>7s}  vdd={analysis['vdd']:.2f} V  "
+            f"{analysis['scheme']} i{analysis['interleave_distance']}: "
+            f"uncorrectable={analysis['uncorrectable_rate']:.4g} FIT  "
+            f"gain={analysis['correction_gain']:.3g}x"
+        )
+    if args.json:
+        _say(_json.dumps(result, indent=2, sort_keys=True))
     return 0
 
 
@@ -650,6 +789,95 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="technology figures of merit")
     p_info.set_defaults(func=cmd_info)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-lived SER-service daemon (queries over a socket)",
+    )
+    _add_endpoint(p_serve)
+    p_serve.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        help="artifact cache directory (default: .repro-cache)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=1,
+        metavar="N",
+        help="campaigns running at once (default: 1; each uses --jobs "
+        "workers)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=16,
+        metavar="N",
+        help="admission control: campaigns allowed to wait for a slot "
+        "before submissions are rejected (default: 16)",
+    )
+    p_serve.add_argument(
+        "--memo-size",
+        type=int,
+        default=128,
+        metavar="N",
+        help="completed results memoized in-process (default: 128)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="ask a running SER-service daemon for a sweep "
+        "(coalesces with identical in-flight queries)",
+    )
+    _add_common(p_query)
+    _add_endpoint(p_query)
+    p_query.add_argument("--vdd-list", default="0.7,0.8,0.9,1.0,1.1")
+    p_query.add_argument(
+        "--tenant",
+        default="default",
+        help="fair-scheduling tenant this query bills to (default: default)",
+    )
+    p_query.add_argument(
+        "--watch",
+        action="store_true",
+        help="stream live campaign progress events while waiting",
+    )
+    p_query.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="socket timeout (default: wait forever)",
+    )
+    p_query.add_argument(
+        "--json",
+        action="store_true",
+        help="also print the full result as JSON",
+    )
+    ecc_group = p_query.add_argument_group("ecc / interleaving")
+    ecc_group.add_argument(
+        "--ecc",
+        choices=("none", "SEC-DED", "DEC-TED"),
+        default=None,
+        help="fold an ECC/interleave word-failure analysis over the sweep",
+    )
+    ecc_group.add_argument(
+        "--interleave",
+        type=int,
+        default=4,
+        metavar="D",
+        help="bit-interleaving distance for --ecc (default: 4)",
+    )
+    ecc_group.add_argument(
+        "--ecc-pair-particles",
+        type=int,
+        default=20000,
+        metavar="N",
+        help="strikes for the failing-pair offset statistics "
+        "(default: 20000)",
+    )
+    p_query.set_defaults(func=cmd_query)
+
     p_obs = sub.add_parser(
         "obs", help="inspect telemetry files (events, traces, manifests)"
     )
@@ -737,10 +965,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=cmd_obs_bench_check)
 
     for command_parser in (
-        p_build, p_fit, p_sweep, p_qcrit, p_report, p_figures, p_snm, p_info
+        p_build, p_fit, p_sweep, p_qcrit, p_report, p_figures, p_snm,
+        p_info, p_serve,
     ):
         _add_jobs(command_parser)
         _add_obs(command_parser)
+    _add_obs(p_query)  # the client produces no campaigns, only output
     return parser
 
 

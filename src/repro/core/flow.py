@@ -514,6 +514,43 @@ class SerFlow:
             journal.clear()
         return results
 
+    def pair_offsets(
+        self,
+        particle_name: str,
+        vdd_v: float,
+        energy_mev: float,
+        n_particles: int,
+    ):
+        """Failing-pair offset statistics of one array campaign.
+
+        The ECC/interleave analysis input (see
+        :mod:`repro.reliability.ecc`), exposed on the flow so service
+        queries and notebooks draw from the same deterministic
+        campaign-seed streams as every other stage.
+        """
+        from ..ser.clusters import collect_pair_offsets
+
+        particle = get_particle(particle_name)
+        with span(
+            "pair-offsets",
+            particle=particle_name,
+            vdd=vdd_v,
+            energy=energy_mev,
+        ):
+            return collect_pair_offsets(
+                self.simulator(),
+                particle,
+                float(energy_mev),
+                float(vdd_v),
+                int(n_particles),
+                self._campaign_rng(
+                    "pair-offsets",
+                    particle_name,
+                    f"{vdd_v:g}",
+                    f"{energy_mev:.9g}",
+                ),
+            )
+
     def fit(self, particle_name: str, vdd_v: float) -> FitResult:
         """FIT rate of one (particle, vdd) case (eqs. 7-8)."""
         particle = get_particle(particle_name)

@@ -1,5 +1,17 @@
 """Artifact persistence: LUT serialization and the build cache."""
 
-from .lutio import ArtifactCache, config_hash, load_artifact, save_artifact
+from .lutio import (
+    ArtifactCache,
+    BuildLock,
+    config_hash,
+    load_artifact,
+    save_artifact,
+)
 
-__all__ = ["ArtifactCache", "config_hash", "load_artifact", "save_artifact"]
+__all__ = [
+    "ArtifactCache",
+    "BuildLock",
+    "config_hash",
+    "load_artifact",
+    "save_artifact",
+]

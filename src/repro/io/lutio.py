@@ -12,6 +12,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -141,17 +142,98 @@ def _jsonable(obj):
         return obj.item()
     return obj
 
+#: Default single-flight lock parameters (see
+#: :meth:`ArtifactCache.get_or_build`): how often a waiter re-polls a
+#: held lock, and after how long an untouched lock is presumed dead
+#: and taken over (a crashed builder cannot release its lock).
+DEFAULT_LOCK_POLL_S = 0.05
+DEFAULT_LOCK_STALE_S = 600.0
+
+
+class BuildLock:
+    """Cross-process single-flight lock for one cache key.
+
+    A lock *file* created with ``O_CREAT | O_EXCL`` — the one
+    primitive that is atomic on every filesystem — marks a build in
+    flight.  Exactly one process wins creation and runs the builder;
+    everybody else polls, re-checking the cache each round so they
+    pick up the winner's artifact instead of rebuilding.  A lock whose
+    file has not been refreshed for ``stale_s`` is presumed abandoned
+    (builder crashed before the ``finally``) and taken over.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        poll_s: float = DEFAULT_LOCK_POLL_S,
+        stale_s: float = DEFAULT_LOCK_STALE_S,
+    ):
+        self.path = Path(path)
+        self.poll_s = float(poll_s)
+        self.stale_s = float(stale_s)
+        self._fd: Optional[int] = None
+
+    def try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt."""
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        os.write(fd, f"{os.getpid()} {time.time()}\n".encode("utf-8"))
+        self._fd = fd
+        return True
+
+    def holder_stale(self) -> bool:
+        """True when the held lock looks abandoned (mtime too old)."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return False  # released between the check and the stat
+        return age > self.stale_s
+
+    def break_stale(self) -> bool:
+        """Remove an abandoned lock so the next attempt can win it."""
+        try:
+            os.unlink(self.path)
+            return True
+        except OSError:
+            return False  # somebody else broke or released it first
+
+    def release(self):
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass  # a (wrongly) aggressive takeover beat us to it
+
+
 class ArtifactCache:
     """A tiny content-addressed artifact cache directory."""
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        lock_poll_s: float = DEFAULT_LOCK_POLL_S,
+        lock_stale_s: float = DEFAULT_LOCK_STALE_S,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.lock_poll_s = float(lock_poll_s)
+        self.lock_stale_s = float(lock_stale_s)
 
     def path_for(self, name: str, *config_objects) -> Path:
         """Cache file path for a named artifact under a config."""
         key = config_hash(*config_objects)
         return self.directory / f"{name}-{key}.json"
+
+    def lock_path_for(self, name: str, *config_objects) -> Path:
+        """Single-flight build-lock path for a named artifact."""
+        key = config_hash(*config_objects)
+        return self.directory / f"{name}-{key}.lock"
 
     def journal_path(self, name: str, *config_objects) -> Path:
         """Shard-journal checkpoint path for a named campaign.
@@ -169,42 +251,94 @@ class ArtifactCache:
         """The sha256 campaign key matching :meth:`journal_path`."""
         return config_hash(*config_objects)
 
+    def _try_load(self, name: str, path: Path):
+        """One cache probe: ``(hit, artifact)``; corrupt entries discarded."""
+        metrics = get_registry()
+        if not path.exists():
+            return False, None
+        try:
+            artifact = load_artifact(path)
+        except SerializationError as exc:
+            metrics.counter("lut_cache.invalid").inc()
+            _log.warning(
+                "discarding corrupt cache entry %s",
+                kv(name=name, path=path, error=exc),
+            )
+            path.unlink(missing_ok=True)
+            return False, None
+        metrics.counter("lut_cache.hits").inc()
+        _log.debug("cache hit %s", kv(name=name, path=path))
+        return True, artifact
+
     def get_or_build(self, name: str, builder, *config_objects):
-        """Load the cached artifact or build + store it.
+        """Load the cached artifact or build + store it — once per key.
 
         ``builder`` is a zero-argument callable producing the artifact.
+        Concurrent misses on the same key (two processes, or two
+        service requests) are **single-flighted** through a lock file
+        next to the artifact: one process builds while the others poll,
+        re-checking the cache each round so they return the winner's
+        artifact instead of duplicating the build (and racing on the
+        shared journal path).  A lock left behind by a crashed builder
+        is taken over after ``lock_stale_s``.
+
         Artifacts flagged ``degraded`` (partial statistics after worker
         loss) are returned but **not** cached, so the next run rebuilds
-        at full statistics.  Cache traffic is counted in the metrics
-        registry (``lut_cache.hits`` / ``misses`` / ``writes`` /
-        ``invalid``).
+        at full statistics (waiters on a degraded build find no
+        artifact when the lock clears and run the builder themselves).
+        Cache traffic is counted in the metrics registry
+        (``lut_cache.hits`` / ``misses`` / ``writes`` / ``invalid`` /
+        ``lock_waits`` / ``lock_takeovers``).
         """
         metrics = get_registry()
         path = self.path_for(name, *config_objects)
-        if path.exists():
-            try:
-                artifact = load_artifact(path)
-            except SerializationError as exc:
-                metrics.counter("lut_cache.invalid").inc()
-                _log.warning(
-                    "discarding corrupt cache entry %s",
-                    kv(name=name, path=path, error=exc),
-                )
-                path.unlink(missing_ok=True)
-            else:
-                metrics.counter("lut_cache.hits").inc()
-                _log.debug("cache hit %s", kv(name=name, path=path))
-                return artifact
-        metrics.counter("lut_cache.misses").inc()
-        _log.debug("cache miss %s", kv(name=name, path=path))
-        artifact = builder()
-        if getattr(artifact, "degraded", False):
-            metrics.counter("lut_cache.degraded_skips").inc()
-            _log.warning(
-                "not caching degraded artifact %s", kv(name=name, path=path)
-            )
+        hit, artifact = self._try_load(name, path)
+        if hit:
             return artifact
-        save_artifact(artifact, path)
-        metrics.counter("lut_cache.writes").inc()
-        _log.debug("cache write %s", kv(name=name, path=path))
-        return artifact
+        lock = BuildLock(
+            self.lock_path_for(name, *config_objects),
+            poll_s=self.lock_poll_s,
+            stale_s=self.lock_stale_s,
+        )
+        waited = False
+        while not lock.try_acquire():
+            if not waited:
+                waited = True
+                metrics.counter("lut_cache.lock_waits").inc()
+                _log.debug(
+                    "waiting on concurrent build %s",
+                    kv(name=name, lock=lock.path),
+                )
+            if lock.holder_stale() and lock.break_stale():
+                metrics.counter("lut_cache.lock_takeovers").inc()
+                _log.warning(
+                    "took over stale build lock %s",
+                    kv(name=name, lock=lock.path, stale_s=self.lock_stale_s),
+                )
+                continue
+            time.sleep(self.lock_poll_s)
+            hit, artifact = self._try_load(name, path)
+            if hit:
+                return artifact
+        try:
+            # we hold the lock; the winner of a wait must still re-check
+            # (the previous holder may have published while we raced the
+            # release/acquire edge).
+            hit, artifact = self._try_load(name, path)
+            if hit:
+                return artifact
+            metrics.counter("lut_cache.misses").inc()
+            _log.debug("cache miss %s", kv(name=name, path=path))
+            artifact = builder()
+            if getattr(artifact, "degraded", False):
+                metrics.counter("lut_cache.degraded_skips").inc()
+                _log.warning(
+                    "not caching degraded artifact %s", kv(name=name, path=path)
+                )
+                return artifact
+            save_artifact(artifact, path)
+            metrics.counter("lut_cache.writes").inc()
+            _log.debug("cache write %s", kv(name=name, path=path))
+            return artifact
+        finally:
+            lock.release()

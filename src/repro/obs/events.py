@@ -54,6 +54,9 @@ from collections import deque
 from typing import Deque, List, Optional, Union
 
 from .jsonl import DEFAULT_MAX_BYTES, JsonlWriter
+from .log import get_logger, kv
+
+_log = get_logger(__name__)
 
 __all__ = [
     "EVENT_KINDS",
@@ -147,6 +150,8 @@ class EventBus:
         self._lock = threading.Lock()
         self._seq = 0
         self._pid = os.getpid()
+        #: Events that could not reach the JSONL sink (sink died).
+        self.dropped = 0
 
     @property
     def path(self) -> Optional[str]:
@@ -167,9 +172,31 @@ class EventBus:
         if self.writer is not None:
             try:
                 self.writer.write(event)
-            except OSError:  # telemetry must never sink the campaign
+            except OSError as exc:  # telemetry must never sink the campaign
+                # drop the sink for good: a dead writer stays dead, so
+                # later emits must not re-serialize and re-fail (and
+                # ``bus.path`` must stop advertising a sink that no
+                # longer exists).  The ring keeps working.
+                path = self.writer.path
                 self.writer.close()
+                self.writer = None
+                self.dropped += 1
+                self._count_drop()
+                _log.warning(
+                    "event sink lost, dropping further events %s",
+                    kv(path=path, error=exc),
+                )
+        elif self.dropped:
+            # sink already declared dead: count, never retry.
+            self.dropped += 1
+            self._count_drop()
         return event
+
+    @staticmethod
+    def _count_drop():
+        from .registry import get_registry
+
+        get_registry().counter("events.dropped").inc()
 
     def emit_raw(self, event: dict) -> dict:
         """Publish a worker-originated event dict (stamped here)."""

@@ -40,6 +40,7 @@ __all__ = [
     "diff_manifests",
     "follow_events",
     "format_event",
+    "read_event_chain",
     "render_table",
     "summarize_events",
     "summarize_manifest",
@@ -120,16 +121,52 @@ def format_event(event: dict, t0: Optional[float] = None) -> str:
     return f"#{seq:>5} {rel} {kind:<11} {body}"
 
 
+def read_event_chain(path: Union[str, Path]) -> Tuple[List[dict], int]:
+    """Read a possibly-rotated event stream: ``<path>.1`` + ``<path>``.
+
+    The :class:`~repro.obs.jsonl.JsonlWriter` rotates the live file to
+    ``<path>.1`` at the size cap, so the full stream of a long campaign
+    is the concatenation of the rotated generation (older events) and
+    the live file.  One-shot readers that look only at ``<path>``
+    silently drop the rotated prefix; this helper stitches the chain
+    back together, deduplicating on the bus ``seq`` (a reader can race
+    the rotation and see the same event in both generations) and
+    keeping the total order.  Returns ``(records, invalid)`` like
+    :func:`~repro.obs.jsonl.read_jsonl`; non-event records (headers)
+    pass through undeduplicated.
+    """
+    path = str(path)
+    records: List[dict] = []
+    invalid = 0
+    seen_seq = set()
+    for part in (path + ".1", path):
+        if not os.path.exists(part):
+            continue
+        part_records, part_invalid = read_jsonl(part)
+        invalid += part_invalid
+        for record in part_records:
+            if record.get("type") == "event":
+                seq = record.get("seq")
+                if seq is not None:
+                    if seq in seen_seq:
+                        continue
+                    seen_seq.add(seq)
+            records.append(record)
+    return records, invalid
+
+
 def tail_events(
     path: Union[str, Path], last: Optional[int] = None
 ) -> Tuple[List[str], dict]:
     """Render an event file; returns ``(lines, stats)``.
 
-    ``last`` keeps only the trailing N events (like ``tail -n``).
-    ``stats`` carries the per-kind counts and the invalid-line count
-    of the tolerant reader.
+    Reads the full rotation chain (``<path>.1`` then ``<path>``) so a
+    stream that rotated mid-campaign is rendered whole.  ``last``
+    keeps only the trailing N events (like ``tail -n``).  ``stats``
+    carries the per-kind counts and the invalid-line count of the
+    tolerant reader.
     """
-    records, invalid = read_jsonl(path)
+    records, invalid = read_event_chain(path)
     events = [r for r in records if r.get("type") == "event"]
     t0 = events[0].get("t") if events else None
     if last is not None and last >= 0:
@@ -160,41 +197,70 @@ def follow_events(
     when nothing arrived for ``idle_timeout_s`` (``None`` = follow
     forever).
     """
-    t0: Optional[float] = None
+    state = {"t0": None, "fresh": False, "last_event": _clock()}
     buffer = b""
     offset = 0
-    last_event = _clock()
+    inode: Optional[int] = None
     stalled = False
+
+    def parse(chunk: bytes):
+        nonlocal buffer
+        buffer += chunk
+        while b"\n" in buffer:
+            line, buffer = buffer.split(b"\n", 1)
+            try:
+                event = json.loads(line.decode("utf-8", errors="replace"))
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(event, dict) or event.get("type") != "event":
+                continue
+            if state["t0"] is None:
+                state["t0"] = event.get("t")
+            state["last_event"] = _clock()
+            state["fresh"] = True
+            yield format_event(event, state["t0"])
+
+    def read_from(source, start: int) -> bytes:
+        try:
+            with open(source, "rb") as handle:
+                handle.seek(start)
+                return handle.read()
+        except OSError:
+            return b""
+
     while True:
         if stop is not None and stop():
             return
         try:
-            size = os.path.getsize(path)
+            st = os.stat(path)
+            size, ino = st.st_size, st.st_ino
         except OSError:
-            size = 0
-        if size < offset:  # rotated under us: start over on the new file
+            size, ino = 0, inode
+        if inode is None:
+            inode = ino
+        if ino != inode:
+            # Rotated under us: the handle we were reading now lives at
+            # <path>.1.  Size comparison alone misses this whenever the
+            # fresh file grows past our old offset between polls, so
+            # the inode is the rotation signal.  Drain the tail of the
+            # rotated generation first — no events are skipped across
+            # the boundary — then start over on the fresh file.
+            yield from parse(read_from(str(path) + ".1", offset))
+            if buffer:  # torn tail of the rotated file: nothing follows it
+                buffer = b""
+            inode = ino
+            offset = 0
+        elif size < offset:  # truncated in place: start over
             offset = 0
             buffer = b""
         if size > offset:
-            with open(path, "rb") as handle:
-                handle.seek(offset)
-                chunk = handle.read()
+            chunk = read_from(path, offset)
             offset += len(chunk)
-            buffer += chunk
-            while b"\n" in buffer:
-                line, buffer = buffer.split(b"\n", 1)
-                try:
-                    event = json.loads(line.decode("utf-8", errors="replace"))
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(event, dict) or event.get("type") != "event":
-                    continue
-                if t0 is None:
-                    t0 = event.get("t")
-                last_event = _clock()
-                stalled = False
-                yield format_event(event, t0)
-        idle = _clock() - last_event
+            yield from parse(chunk)
+        if state["fresh"]:
+            state["fresh"] = False
+            stalled = False
+        idle = _clock() - state["last_event"]
         if not stalled and idle >= stall_after_s:
             stalled = True
             yield (
@@ -251,8 +317,12 @@ def summarize_trace(path: Union[str, Path]) -> dict:
 
 
 def summarize_events(path: Union[str, Path]) -> dict:
-    """Per-label round/shard digest plus convergence tail of an event file."""
-    records, invalid = read_jsonl(path)
+    """Per-label round/shard digest plus convergence tail of an event file.
+
+    Reads the rotation chain (see :func:`read_event_chain`), so long
+    campaigns whose streams rotated report full round/trial counts.
+    """
+    records, invalid = read_event_chain(path)
     labels: Dict[str, dict] = {}
     convergence: Dict[str, dict] = {}
     counts: Dict[str, int] = {}
@@ -404,6 +474,7 @@ def diff_manifests(
         "fault_tolerance",
         "parallel",
         "adaptive",
+        "service",
     )
     flat_a: Dict[str, object] = {}
     flat_b: Dict[str, object] = {}

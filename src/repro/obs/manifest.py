@@ -9,7 +9,7 @@ writes one; :func:`RunManifest.from_dict` round-trips it.
 
 Convenience sections (``stage_timings_s``, ``mc``, ``lut_cache``,
 ``convergence``, ``convergence_bins``, ``fault_tolerance``,
-``parallel``, ``adaptive``) are *derived* from the full metrics snapshot kept in
+``parallel``, ``adaptive``, ``service``) are *derived* from the full metrics snapshot kept in
 ``metrics`` — the snapshot is the ground truth, the sections are what
 a human greps for first.  The ``environment`` section additionally
 captures the live execution-plane state (kill-switch environment
@@ -113,6 +113,7 @@ class RunManifest:
     fault_tolerance: dict = field(default_factory=dict)
     parallel: dict = field(default_factory=dict)
     adaptive: dict = field(default_factory=dict)
+    service: dict = field(default_factory=dict)
     environment: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
 
@@ -137,6 +138,7 @@ class RunManifest:
             "fault_tolerance": self.fault_tolerance,
             "parallel": self.parallel,
             "adaptive": self.adaptive,
+            "service": self.service,
             "environment": self.environment,
             "metrics": self.metrics,
         }
@@ -184,6 +186,7 @@ class RunManifest:
             fault_tolerance=dict(payload.get("fault_tolerance", {})),
             parallel=dict(payload.get("parallel", {})),
             adaptive=dict(payload.get("adaptive", {})),
+            service=dict(payload.get("service", {})),
             environment=dict(payload.get("environment", {})),
             metrics=dict(payload.get("metrics", {})),
         )
@@ -302,6 +305,21 @@ def build_manifest(
     from .convergence import get_convergence_tracker
 
     convergence_bins = get_convergence_tracker().summary()
+    request_timer = timers.get("service.request", {})
+    campaign_timer = timers.get("service.campaign", {})
+    service = {
+        "requests": counters.get("service.requests", 0),
+        "coalesced": counters.get("service.coalesced", 0),
+        "memo_hits": counters.get("service.memo_hits", 0),
+        "rejected": counters.get("service.rejected", 0),
+        "campaigns": counters.get("service.campaigns", 0),
+        "failures": counters.get("service.failures", 0),
+        "request_p50_s": request_timer.get("p50_s", 0.0),
+        "request_p99_s": request_timer.get("p99_s", 0.0),
+        "campaign_p50_s": campaign_timer.get("p50_s", 0.0),
+        "campaign_p99_s": campaign_timer.get("p99_s", 0.0),
+        "served": _served_campaigns(),
+    }
     return RunManifest(
         command=command,
         argv=list(argv),
@@ -319,6 +337,16 @@ def build_manifest(
         fault_tolerance=fault_tolerance,
         parallel=parallel,
         adaptive=adaptive,
+        service=service,
         environment=capture_environment(config),
         metrics=snapshot,
     )
+
+
+def _served_campaigns() -> List[dict]:
+    """One ledger entry per campaign this process served (may be [])."""
+    # call-time import: repro.service imports repro.obs at module load,
+    # so the reverse edge must stay lazy (same pattern as convergence)
+    from ..service import get_service_ledger
+
+    return get_service_ledger().summary()

@@ -1,5 +1,21 @@
 """System-level reliability: ECC and interleaving on top of the SER flow."""
 
-from .ecc import EccScheme, InterleavingAnalysis, word_failure_rates
+from .ecc import (
+    DEC_TED,
+    NO_ECC,
+    SEC_DED,
+    EccScheme,
+    InterleavingAnalysis,
+    same_word_pair_fraction,
+    word_failure_rates,
+)
 
-__all__ = ["EccScheme", "InterleavingAnalysis", "word_failure_rates"]
+__all__ = [
+    "DEC_TED",
+    "NO_ECC",
+    "SEC_DED",
+    "EccScheme",
+    "InterleavingAnalysis",
+    "same_word_pair_fraction",
+    "word_failure_rates",
+]

@@ -1,0 +1,43 @@
+"""SER-as-a-service: one engine API, two front-ends.
+
+* :mod:`repro.service.protocol` — the query schema
+  (:class:`QuerySpec`) and its canonicalization onto artifact-cache
+  keys, plus the NDJSON wire format.
+* :mod:`repro.service.engine` — :func:`build_flow` / :func:`run_query`
+  (the orchestration core the CLI now drives) and
+  :class:`CampaignEngine` (single-flight coalescing, memoization,
+  admission control, per-tenant fair scheduling).
+* :mod:`repro.service.daemon` — the asyncio socket server behind
+  ``repro-ser serve``.
+* :mod:`repro.service.client` — the blocking client behind
+  ``repro-ser query``.
+"""
+
+from .client import ServiceClient
+from .daemon import ServiceDaemon
+from .engine import (
+    AdmissionError,
+    CampaignEngine,
+    ExecutionOptions,
+    ServiceError,
+    build_flow,
+    get_service_ledger,
+    reset_service_ledger,
+    run_query,
+)
+from .protocol import QueryError, QuerySpec
+
+__all__ = [
+    "AdmissionError",
+    "CampaignEngine",
+    "ExecutionOptions",
+    "QueryError",
+    "QuerySpec",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "build_flow",
+    "get_service_ledger",
+    "reset_service_ledger",
+    "run_query",
+]

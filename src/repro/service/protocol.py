@@ -1,0 +1,230 @@
+"""Query schema and wire protocol of the SER service.
+
+One characterized model — yield LUTs, POF tables, array layout — can
+answer many SER questions; this module defines the *question*: a
+:class:`QuerySpec` naming everything that changes the answer (tech
+card, particles, spectrum binning, Vdd range, array geometry, MC
+budgets, seed, optional adaptive sampling and ECC/interleave
+analysis) and nothing that doesn't (worker counts, sockets, cache
+locations live on :class:`~repro.service.engine.ExecutionOptions`).
+
+Canonicalization is the load-bearing part: :meth:`QuerySpec.canonical_key`
+maps a spec onto the same sha256 configuration hash family the
+:class:`~repro.io.ArtifactCache` keys artifacts by, so two clients
+asking the same question — in any field order, over any front-end —
+land on one key.  The engine coalesces in-flight requests and
+memoizes completed results on that key, and the flow's own disk cache
+keys (derived from the identical :class:`~repro.core.FlowConfig`)
+line up underneath it.
+
+The wire format is newline-delimited JSON, one object per line, over
+a unix or TCP socket:
+
+* requests: ``{"op": "query", "id": ..., "tenant": ..., "spec":
+  {...}, "watch": bool}``, plus ``ping`` / ``stats`` / ``shutdown``.
+* responses: ``{"id": ..., "ok": true, "result": {...}, "source":
+  "campaign" | "coalesced" | "memo", "wall_s": ...}`` or ``{"ok":
+  false, "error": ..., "code": "bad-request" | "rejected" |
+  "failed"}``.
+* progress (only with ``watch``): ``{"id": ..., "event": {...}}``
+  lines interleaved while the campaign runs, fanned out from the live
+  :class:`~repro.obs.events.EventRing`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from ..io import config_hash
+
+__all__ = [
+    "QueryError",
+    "QuerySpec",
+    "decode_line",
+    "encode_line",
+    "ECC_SCHEMES",
+]
+
+#: ECC schemes a query may ask to fold over the MBU statistics (see
+#: :mod:`repro.reliability.ecc`).
+ECC_SCHEMES = ("none", "SEC-DED", "DEC-TED")
+
+
+class QueryError(ConfigError):
+    """A request that cannot be turned into a well-formed campaign."""
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One SER question, canonicalized.
+
+    Field defaults mirror the ``repro-ser`` CLI defaults, so an empty
+    query asks exactly what a bare ``repro-ser sweep`` computes.
+    """
+
+    # what to sweep
+    particles: Tuple[str, ...] = ("alpha", "proton")
+    vdd_list: Tuple[float, ...] = (0.7, 0.8, 0.9, 1.0, 1.1)
+    # array geometry / data
+    array_rows: int = 9
+    array_cols: int = 9
+    data_pattern: str = "uniform"
+    # spectrum folding
+    n_energy_bins: int = 8
+    # MC budgets
+    mc_particles: int = 50000
+    samples: int = 200
+    yield_trials: int = 20000
+    yield_points: int = 13
+    seed: int = 2014
+    variation: bool = True
+    # cell kernel
+    cell_kernel: str = "tabulated"
+    cell_early_exit: bool = True
+    cell_max_batch: int = 200_000
+    # adaptive sampling (changes results => part of the key)
+    adaptive: bool = False
+    target_se: float = 5e-4
+    target_se_relative: bool = False
+    max_trials: Optional[int] = None
+    pilot_trials: int = 8192
+    # optional ECC / interleaving analysis riding on the sweep
+    ecc: Optional[str] = None
+    interleave: int = 4
+    ecc_pair_particles: int = 20000
+
+    def __post_init__(self):
+        # normalize list-ish inputs so from_dict(json) and native
+        # construction canonicalize identically
+        object.__setattr__(
+            self, "particles", tuple(str(p) for p in self.particles)
+        )
+        object.__setattr__(
+            self, "vdd_list", tuple(float(v) for v in self.vdd_list)
+        )
+        if not self.particles:
+            raise QueryError("query needs at least one particle")
+        if not self.vdd_list:
+            raise QueryError("query needs at least one vdd")
+        if self.ecc is not None and self.ecc not in ECC_SCHEMES:
+            raise QueryError(
+                f"unknown ecc scheme {self.ecc!r} (one of {ECC_SCHEMES})"
+            )
+        if self.interleave < 1:
+            raise QueryError("interleave distance must be >= 1")
+        if self.ecc_pair_particles < 1:
+            raise QueryError("ecc_pair_particles must be positive")
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuerySpec":
+        """Build a spec from a decoded request, rejecting junk fields."""
+        if not isinstance(payload, dict):
+            raise QueryError("spec must be a JSON object")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise QueryError(f"unknown spec field(s): {unknown}")
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"malformed spec: {exc}") from exc
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["particles"] = list(self.particles)
+        payload["vdd_list"] = list(self.vdd_list)
+        return payload
+
+    def to_flow_config(self):
+        """The :class:`~repro.core.FlowConfig` this query compiles to.
+
+        This is *the* canonical compilation — the CLI front-end builds
+        its flows through the same path (see
+        :func:`~repro.service.engine.build_flow`), so a query and the
+        equivalent one-shot command produce bit-identical results and
+        share every artifact-cache key.
+        """
+        from ..core import FlowConfig
+        from ..ser import AdaptiveConfig
+        from ..sram import CharacterizationConfig
+
+        adaptive = None
+        if self.adaptive:
+            adaptive = AdaptiveConfig(
+                target_se=self.target_se,
+                relative_target=self.target_se_relative,
+                pilot_trials=self.pilot_trials,
+                max_trials=self.max_trials,
+            )
+        try:
+            return FlowConfig(
+                particles=self.particles,
+                vdd_list=self.vdd_list,
+                yield_trials_per_energy=self.yield_trials,
+                yield_energy_points=self.yield_points,
+                characterization=CharacterizationConfig(
+                    vdd_list=self.vdd_list,
+                    n_samples=self.samples,
+                    kernel=self.cell_kernel,
+                    early_exit=self.cell_early_exit,
+                    max_batch=self.cell_max_batch,
+                ),
+                process_variation=self.variation,
+                array_rows=self.array_rows,
+                array_cols=self.array_cols,
+                data_pattern=self.data_pattern,
+                n_energy_bins=self.n_energy_bins,
+                mc_particles_per_bin=self.mc_particles,
+                seed=self.seed,
+                adaptive=adaptive,
+            )
+        except ConfigError as exc:
+            raise QueryError(str(exc)) from exc
+
+    def canonical_key(self, design=None) -> str:
+        """The request's identity: the artifact-cache hash of its campaign.
+
+        Built from the compiled flow configuration, the technology
+        card, and the service-only analysis fields — the same
+        ``config_hash`` family (and the same leading components) the
+        flow's sweep artifact is cached under, so request coalescing,
+        result memoization, and the disk cache all agree on what
+        "identical query" means.
+        """
+        from ..sram import SramCellDesign
+
+        design = design if design is not None else SramCellDesign()
+        return config_hash(
+            self.to_flow_config(),
+            design.tech,
+            {
+                "particles": list(self.particles),
+                "vdds": list(self.vdd_list),
+                "ecc": self.ecc,
+                "interleave": self.interleave if self.ecc else None,
+                "ecc_pair_particles": (
+                    self.ecc_pair_particles if self.ecc else None
+                ),
+            },
+        )
+
+
+def encode_line(message: dict) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return (json.dumps(message, sort_keys=True, default=str) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`QueryError` on junk."""
+    try:
+        message = json.loads(line.decode("utf-8", errors="replace"))
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"undecodable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise QueryError("request must be a JSON object")
+    return message

@@ -446,3 +446,53 @@ class TestLiveSweepTelemetry:
         assert stats["invalid"] == 0
         assert stats["events"] == len(lines)
         assert stats["kinds"]["progress"] == 4
+
+
+class TestDeadSink:
+    """A lost JSONL sink is dropped once and never re-touched."""
+
+    class _DeadWriter:
+        path = "/gone/events.jsonl"
+
+        def __init__(self):
+            self.writes = 0
+            self.closed = False
+
+        def write(self, record):
+            self.writes += 1
+            raise OSError("sink is gone")
+
+        def close(self):
+            self.closed = True
+
+    def test_emit_survives_sink_loss_and_counts_drops(self, tmp_path):
+        registry = enable_metrics(fresh=True)
+        bus = EventBus(path=str(tmp_path / "ev.jsonl"), ring=8)
+        dead = self._DeadWriter()
+        bus.writer.close()
+        bus.writer = dead
+
+        first = bus.emit("progress", label="x", index=0, state="started")
+        assert first is not None  # emission never breaks the science
+        assert bus.writer is None  # the dead sink was dropped for good
+        assert dead.closed
+        assert bus.dropped == 1
+
+        # later emits never re-touch the dead writer, but keep counting
+        bus.emit("progress", label="x", index=1, state="started")
+        assert dead.writes == 1
+        assert bus.dropped == 2
+        assert bus.path is None  # no sink is advertised anymore
+
+        # the ring keeps working through the loss
+        assert len(bus.ring.snapshot()) == 2
+        counters = registry.snapshot()["counters"]
+        assert counters["events.dropped"] == 2
+
+    def test_healthy_bus_never_counts_drops(self, tmp_path):
+        registry = enable_metrics(fresh=True)
+        bus = EventBus(path=str(tmp_path / "ev.jsonl"), ring=8)
+        bus.emit("progress", label="x", index=0, state="started")
+        bus.close()
+        assert bus.dropped == 0
+        assert "events.dropped" not in registry.snapshot()["counters"]

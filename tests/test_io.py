@@ -147,3 +147,110 @@ class TestArtifactCache:
         path.write_text("{ not json")
         result = cache.get_or_build("yield", lambda: lut, {"v": 1})
         assert isinstance(result, ElectronYieldLUT)
+
+
+class TestBuildSingleFlight:
+    """Concurrent misses on one key must run the builder exactly once."""
+
+    def test_concurrent_get_or_build_coalesces(self, lut, tmp_path):
+        import threading
+        import time as _time
+
+        cache = ArtifactCache(tmp_path / "cache", lock_poll_s=0.01)
+        calls = []
+        gate = threading.Event()
+
+        def slow_builder():
+            calls.append(1)
+            assert gate.wait(timeout=10.0)
+            return lut
+
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = cache.get_or_build("yield", slow_builder, {"v": 1})
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # let every loser reach the wait loop before the winner finishes
+        deadline = _time.monotonic() + 5.0
+        while not calls and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        _time.sleep(0.05)
+        gate.set()
+        for thread in threads:
+            thread.join(10.0)
+
+        assert len(calls) == 1  # single-flight: one build, three waiters
+        for result in results:
+            assert isinstance(result, ElectronYieldLUT)
+            assert np.allclose(result.mean_pairs, lut.mean_pairs)
+        # the lock is gone once the flight lands
+        assert not cache.lock_path_for("yield", {"v": 1}).exists()
+
+    def test_stale_lock_taken_over(self, lut, tmp_path):
+        import os
+        import time as _time
+
+        cache = ArtifactCache(
+            tmp_path / "cache", lock_poll_s=0.01, lock_stale_s=0.2
+        )
+        lock_path = cache.lock_path_for("yield", {"v": 1})
+        # a crashed builder left its lock behind, long untouched
+        lock_path.write_text("99999 0\n")
+        old = _time.time() - 60.0
+        os.utime(lock_path, (old, old))
+
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return lut
+
+        result = cache.get_or_build("yield", builder, {"v": 1})
+        assert len(calls) == 1  # took the lock over and built
+        assert isinstance(result, ElectronYieldLUT)
+        assert not lock_path.exists()
+
+    def test_fresh_foreign_lock_is_waited_on(self, lut, tmp_path):
+        """A *live* holder's lock is honored: the waiter picks up the
+        artifact the holder publishes instead of rebuilding."""
+        import threading
+        import time as _time
+
+        cache = ArtifactCache(
+            tmp_path / "cache", lock_poll_s=0.01, lock_stale_s=600.0
+        )
+        lock_path = cache.lock_path_for("yield", {"v": 1})
+        lock_path.write_text(f"1 {_time.time()}\n")  # someone is building
+
+        def publisher():
+            _time.sleep(0.1)
+            save_artifact(lut, cache.path_for("yield", {"v": 1}))
+            lock_path.unlink()
+
+        thread = threading.Thread(target=publisher)
+        thread.start()
+        calls = []
+        result = cache.get_or_build(
+            "yield", lambda: calls.append(1) or lut, {"v": 1}
+        )
+        thread.join(5.0)
+        assert calls == []  # never built: the waiter re-checked the cache
+        assert isinstance(result, ElectronYieldLUT)
+
+    def test_degraded_artifacts_release_the_lock_uncached(self, tmp_path):
+        class Degraded:
+            degraded = True
+
+            def to_dict(self):
+                return {"kind": "electron_yield_lut"}
+
+        cache = ArtifactCache(tmp_path / "cache")
+        result = cache.get_or_build("yield", Degraded, {"v": 1})
+        assert result.degraded
+        assert not cache.path_for("yield", {"v": 1}).exists()
+        assert not cache.lock_path_for("yield", {"v": 1}).exists()

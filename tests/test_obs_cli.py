@@ -228,3 +228,111 @@ class TestBenchCheck:
         for name in ("BENCH_flow.json", "BENCH_characterize.json"):
             ok, report = bench_check(root / name, max_regress=1.0)
             assert ok, report
+
+
+def _event_line(seq, label):
+    return json.dumps(
+        {
+            "type": "event",
+            "kind": "progress",
+            "seq": seq,
+            "t": 1000.0 + seq,
+            "label": label,
+            "index": seq,
+            "state": "finished",
+        }
+    ) + "\n"
+
+
+class TestRotatedStreams:
+    """Readers must see the whole stream across a JSONL rotation."""
+
+    def _write_rotated_stream(self, path):
+        """A stream the writer rotated exactly once mid-campaign.
+
+        Emits until the size cap triggers the (real) rotation, then a
+        few more events into the fresh file; returns the total count.
+        Only one rotated generation is retained, so the test must not
+        rotate twice.
+        """
+        rotated = path.with_name(path.name + ".1")
+        configure_events(path, max_bytes=2048)
+        count = 0
+        while not rotated.exists():
+            emit_event("progress", label="rot", index=count, state="finished")
+            count += 1
+            assert count < 500, "size cap never triggered a rotation"
+        for _ in range(5):
+            emit_event("progress", label="rot", index=count, state="finished")
+            count += 1
+        disable_events()
+        return count
+
+    def test_tail_stitches_the_rotation_chain(self, tmp_path):
+        from repro.obs.inspect import tail_events
+
+        path = tmp_path / "events.jsonl"
+        count = self._write_rotated_stream(path)
+        lines, stats = tail_events(path)
+        # every emitted event is rendered, not just the live file
+        assert stats["events"] == count
+        assert stats["invalid"] == 0
+        assert len(lines) == count
+
+    def test_summarize_counts_across_the_chain(self, tmp_path):
+        from repro.obs.inspect import summarize_events
+
+        path = tmp_path / "events.jsonl"
+        count = self._write_rotated_stream(path)
+        summary = summarize_events(path)
+        assert summary["labels"]["rot"]["finished"] == count
+
+    def test_chain_reader_dedups_on_seq(self, tmp_path):
+        from repro.obs.inspect import read_event_chain
+
+        path = tmp_path / "events.jsonl"
+        # a reader racing the rotation can see one event in both
+        # generations; the chain must keep exactly one copy
+        (tmp_path / "events.jsonl.1").write_text(
+            _event_line(1, "old") + _event_line(2, "both")
+        )
+        path.write_text(_event_line(2, "both") + _event_line(3, "new"))
+        records, invalid = read_event_chain(path)
+        assert invalid == 0
+        assert [r["seq"] for r in records] == [1, 2, 3]
+
+    def test_follow_survives_rotation_without_skipping(self, tmp_path):
+        import os as _os
+
+        path = tmp_path / "events.jsonl"
+        path.write_text(_event_line(1, "pre") + _event_line(2, "pre"))
+        rotated = {"done": False}
+
+        def sleep_hook(_):
+            if not rotated["done"]:
+                rotated["done"] = True
+                # the writer rotates: live file moves aside (carrying a
+                # final event the reader has not consumed yet) and a
+                # fresh file starts at the same path with a new inode
+                _os.rename(path, str(path) + ".1")
+                with open(str(path) + ".1", "a") as handle:
+                    handle.write(_event_line(3, "tail"))
+                path.write_text(_event_line(4, "post"))
+
+        lines = list(
+            follow_events(
+                path,
+                poll_s=0.01,
+                idle_timeout_s=0.2,
+                stall_after_s=99,
+                _sleep=sleep_hook,
+            )
+        )
+        body = "\n".join(lines)
+        # nothing skipped: the rotated file's tail AND the fresh file
+        assert "tail" in body
+        assert "post" in body
+        # ...and in order: the rotated generation drains first
+        tail_at = next(i for i, l in enumerate(lines) if "tail" in l)
+        post_at = next(i for i, l in enumerate(lines) if "post" in l)
+        assert tail_at < post_at
