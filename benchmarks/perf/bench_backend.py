@@ -1,0 +1,369 @@
+"""Perf harness for the array-compute backend + cross-campaign fusion.
+
+Times the campaign phase of a flow-level sweep twice: once on the
+classic per-campaign path (one ``parallel_map`` per (particle, energy,
+Vdd) point) and once through the fused :class:`~repro.ser.fusion.
+BatchPlan` (every draw block of the sweep in one map).  Both paths run
+the same campaign seeds, the same draw-block partition, and the same
+merge order, so their sweeps must agree bit-for-bit -- the speedup is
+pure scheduling: one fan-out instead of dozens, one payload broadcast,
+one device table upload per sweep.
+
+A second section micro-benchmarks one direct-deposition campaign per
+*available* array backend (numpy always; numba / cupy when installed)
+and reports each backend's POF deviation from numpy.  The tolerance
+contract is max |delta POF| <= 1e-3; the numpy backend itself must be
+exact (it *is* the reference).
+
+Appends one run entry to a ``BENCH_backend.json`` trajectory artifact
+so speedups can be tracked across commits.
+
+Usage (CI runs the tiny scale with a no-slower-than floor)::
+
+    PYTHONPATH=src python benchmarks/perf/bench_backend.py \
+        --scale tiny --check --min-speedup 1.0 --out BENCH_backend.json
+
+``--check`` asserts the fused sweep is bit-identical to the
+per-campaign sweep (delta POF = 0.000), that the plan actually fused
+(one plan, every campaign in it), that the fused/per-campaign speedup
+clears ``--min-speedup``, and that every accelerated backend stays
+within the 1e-3 tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend import BACKENDS, CupyBackend, NumbaBackend, NumpyBackend
+from repro.core import FlowConfig, SerFlow
+from repro.obs.registry import disable_metrics, enable_metrics
+from repro.parallel import get_lease, get_pack
+from repro.physics import ALPHA
+from repro.ser import ArrayMcConfig, ArraySerSimulator
+from repro.sram import CharacterizationConfig
+
+TOLERANCE = 1e-3  # max |delta POF| vs numpy for accelerated backends
+
+SCALES = {
+    # tiny = CI smoke: 2 particles x 4 Vdd x 4 bins = 32 campaign maps
+    # on the per-campaign path, all fused into ONE map by the plan.
+    "tiny": dict(
+        vdds=(0.7, 0.8, 0.9, 1.1),
+        bins=4,
+        particles_per_bin=200,
+        rows=12,
+        char_samples=150,
+        campaign_n=10000,
+    ),
+    "small": dict(
+        vdds=(0.7, 0.8, 0.9, 1.1),
+        bins=6,
+        particles_per_bin=2000,
+        rows=12,
+        char_samples=150,
+        campaign_n=50000,
+    ),
+    "full": dict(
+        vdds=(0.7, 0.8, 0.9, 1.0, 1.1),
+        bins=8,
+        particles_per_bin=20000,
+        rows=16,
+        char_samples=200,
+        campaign_n=200000,
+    ),
+}
+
+_BACKEND_CLASSES = {
+    "numpy": NumpyBackend,
+    "numba": NumbaBackend,
+    "cupy": CupyBackend,
+}
+
+
+def make_config(scale) -> FlowConfig:
+    """A direct-deposition sweep config (no LUT build on the hot path)."""
+    return FlowConfig(
+        particles=("alpha", "proton"),
+        vdd_list=scale["vdds"],
+        n_energy_bins=scale["bins"],
+        mc_particles_per_bin=scale["particles_per_bin"],
+        array_rows=scale["rows"],
+        array_cols=scale["rows"],
+        deposition_mode="direct",
+        process_variation=True,
+        characterization=CharacterizationConfig(
+            n_charge_points=9,
+            n_samples=scale["char_samples"],
+            max_pair_points=4,
+            max_triple_points=3,
+            seed=5,
+        ),
+        seed=2014,
+    )
+
+
+def _reset_engine(flow: SerFlow):
+    """Back to a cold engine: no leased pools, no segments, no packs."""
+    get_lease().shutdown_all()
+    get_pack().release_all()
+    flow._campaign_packs.clear()
+
+
+def bench_sweep(flow: SerFlow, reps: int, *, fuse: bool):
+    """Min-of-``reps`` sweep timing for one fusion mode.
+
+    Every rep starts from a cold engine, so the fused mode's advantage
+    is what it earns within one sweep -- the realistic shape of a CLI
+    invocation.  Returns the last rep's sweep, the best wall time, and
+    the last rep's metrics counters.
+    """
+    flow.fuse = fuse
+    sweep, best, counters = None, float("inf"), {}
+    for _ in range(reps):
+        _reset_engine(flow)
+        registry = enable_metrics(fresh=True)
+        try:
+            t0 = time.perf_counter()
+            sweep = flow.sweep()
+            seconds = time.perf_counter() - t0
+            counters = registry.snapshot()["counters"]
+        finally:
+            disable_metrics()
+        best = min(best, seconds)
+    _reset_engine(flow)
+    return sweep, best, counters
+
+
+def sweep_delta_pof(a, b) -> float:
+    """Largest |delta| over every case's per-bin POF and FIT fields."""
+    worst = 0.0
+    for particle_name in a.particles():
+        for vdd in a.vdd_values(particle_name):
+            fit_a = a.get(particle_name, vdd)
+            fit_b = b.get(particle_name, vdd)
+            worst = max(
+                worst,
+                float(
+                    np.max(
+                        np.abs(
+                            np.asarray(fit_a.pof_per_bin)
+                            - np.asarray(fit_b.pof_per_bin)
+                        )
+                    )
+                ),
+            )
+            for attr in ("fit_total", "fit_seu", "fit_mbu"):
+                rel_a, rel_b = getattr(fit_a, attr), getattr(fit_b, attr)
+                scale = max(abs(rel_a), abs(rel_b), 1.0)
+                worst = max(worst, abs(rel_a - rel_b) / scale)
+    return worst
+
+
+def bench_backend_campaigns(flow: SerFlow, scale, reps: int):
+    """One direct campaign per available backend; deviation vs numpy."""
+    layout = flow.layout()
+    pof_table = flow.pof_table()
+    n = scale["campaign_n"]
+    results = {}
+    reference = None
+    for name in BACKENDS:
+        if not _BACKEND_CLASSES[name].available():
+            results[name] = {"available": False}
+            continue
+        simulator = ArraySerSimulator(
+            layout,
+            pof_table,
+            config=ArrayMcConfig(deposition_mode="direct", backend=name),
+        )
+        best = float("inf")
+        outcome = None
+        for _ in range(reps):
+            rng = np.random.default_rng(11)
+            t0 = time.perf_counter()
+            outcome = simulator.run(ALPHA, 5.0, 0.7, n, rng)
+            best = min(best, time.perf_counter() - t0)
+        if name == "numpy":
+            reference = outcome
+        delta = max(
+            abs(outcome.pof_total - reference.pof_total),
+            abs(outcome.pof_seu - reference.pof_seu),
+            abs(outcome.pof_mbu - reference.pof_mbu),
+            float(
+                np.max(
+                    np.abs(
+                        outcome.multiplicity_pmf - reference.multiplicity_pmf
+                    )
+                )
+            ),
+        )
+        results[name] = {
+            "available": True,
+            "seconds": best,
+            "rays_per_sec": n / best if best > 0 else 0.0,
+            "delta_pof": delta,
+        }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default="tiny",
+        choices=sorted(SCALES),
+        help="problem size (tiny = CI smoke, full = honest speedups)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker count for every pooled map (default: 2)",
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="repetitions per mode; min is reported (default: 3)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert bit-identical fused sweep, fusion counters, the "
+        "speedup floor, and the accelerated-backend tolerance",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.3,
+        help="with --check, fail below this fused/per-campaign ratio "
+        "(default: 1.3; CI uses 1.0 as a no-slower-than floor)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_backend.json",
+        help="trajectory artifact to append this run to",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 2:
+        parser.error("--jobs must be >= 2 (pooled maps are the subject)")
+
+    scale = SCALES[args.scale]
+    config = make_config(scale)
+    n_maps = (
+        len(config.particles) * len(config.vdd_list) * config.n_energy_bins
+    )
+    available = [
+        name for name in BACKENDS if _BACKEND_CLASSES[name].available()
+    ]
+    print(
+        f"scale={args.scale} jobs={args.jobs} reps={args.reps} "
+        f"backends={','.join(available)} "
+        f"({len(config.particles)} particles x {len(config.vdd_list)} vdd "
+        f"x {config.n_energy_bins} bins = {n_maps} campaigns/sweep)"
+    )
+
+    flow = SerFlow(config=config, cache_dir=None, n_jobs=args.jobs)
+    t0 = time.perf_counter()
+    flow.simulator()  # characterization + layout: shared deterministic prep
+    print(
+        f"prep (characterize + simulator build): {time.perf_counter()-t0:.1f}s"
+    )
+
+    per_case_sweep, per_case_s, _ = bench_sweep(flow, args.reps, fuse=False)
+    fused_sweep, fused_s, counters = bench_sweep(flow, args.reps, fuse=True)
+    speedup = per_case_s / fused_s if fused_s > 0 else float("inf")
+    delta = sweep_delta_pof(per_case_sweep, fused_sweep)
+
+    fused_plans = counters.get("backend.fused_plans", 0)
+    fused_campaigns = counters.get("backend.fused_campaigns", 0)
+    fused_blocks = counters.get("backend.fused_blocks", 0)
+    print(
+        f"per-campaign: {per_case_s:.3f}s  fused: {fused_s:.3f}s  "
+        f"({speedup:.2f}x, delta POF = {delta:.3f})"
+    )
+    print(
+        f"fused-run counters: plans={fused_plans} "
+        f"campaigns={fused_campaigns} blocks={fused_blocks}"
+    )
+
+    campaigns = bench_backend_campaigns(flow, scale, args.reps)
+    for name, stats in campaigns.items():
+        if not stats["available"]:
+            print(f"backend {name}: not available (skipped)")
+            continue
+        print(
+            f"backend {name}: {stats['seconds']:.3f}s "
+            f"({stats['rays_per_sec']:.0f} rays/s, "
+            f"delta POF = {stats['delta_pof']:.2e})"
+        )
+
+    if args.check:
+        assert delta == 0.0, (
+            f"fused sweep deviates from per-campaign sweep by {delta:g}"
+        )
+        assert fused_plans == 1, "fused mode never built a batch plan"
+        assert fused_campaigns == n_maps, (
+            f"plan fused {fused_campaigns}/{n_maps} campaigns"
+        )
+        assert speedup >= args.min_speedup, (
+            f"speedup {speedup:.2f}x below floor {args.min_speedup:.2f}x"
+        )
+        assert campaigns["numpy"]["delta_pof"] == 0.0
+        for name in ("numba", "cupy"):
+            if campaigns[name]["available"]:
+                assert campaigns[name]["delta_pof"] <= TOLERANCE, (
+                    f"{name} deviates by {campaigns[name]['delta_pof']:g} "
+                    f"(> {TOLERANCE:g})"
+                )
+        print(
+            "determinism checks passed (fused == per-campaign at "
+            f"delta POF = 0.000, speedup >= {args.min_speedup:.2f}x, "
+            f"accelerated backends within {TOLERANCE:g})"
+        )
+
+    entry = {
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "reps": args.reps,
+        "checked": bool(args.check),
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "backends_available": available,
+        "timings_s": {"per_campaign": per_case_s, "fused": fused_s},
+        "speedup": speedup,
+        "delta_pof": delta,
+        "fused_counters": {
+            "plans": fused_plans,
+            "campaigns": fused_campaigns,
+            "blocks": fused_blocks,
+        },
+        "backend_campaigns": campaigns,
+    }
+    out = Path(args.out)
+    history = []
+    if out.exists():
+        try:
+            history = json.loads(out.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(entry)
+    out.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"trajectory appended to {out} ({len(history)} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

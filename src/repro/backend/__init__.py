@@ -1,0 +1,145 @@
+"""Pluggable array-compute backends for the hot kernels.
+
+Selection follows the documented execution-plane precedence contract
+(the one :func:`repro.parallel.pool.warm_pool_enabled` /
+:func:`repro.parallel.shm.shm_enabled` established): the
+``REPRO_BACKEND`` environment variable beats an explicit override
+(``--backend``, a config field) beats the process default set with
+:func:`set_backend_default`.  The backend is a pure execution knob --
+the numpy path is bit-identical to the historical inline code, so it
+must never perturb result-cache keys
+(:meth:`repro.service.protocol.QuerySpec.canonical_key` stays
+backend-free).
+
+Two resolution layers:
+
+* :func:`backend_name` -- the *requested* name after precedence
+  (validates against :data:`BACKENDS`, raises
+  :class:`~repro.errors.ConfigError` on unknown names).
+* :func:`resolve_backend` / :func:`get_backend` -- the *effective*
+  name/instance after availability: requesting numba or cupy on a
+  host without them logs a warning, bumps ``backend.fallbacks`` and
+  gracefully degrades to numpy (same results, just slower).
+
+Worker processes receive the parent's *resolved* name (e.g. inside a
+pickled :class:`~repro.ser.mc.ArraySerSimulator`), so one campaign
+never mixes backends across its shards.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..obs import get_logger, get_registry, kv
+from .base import ArrayBackend
+from .cupy_backend import CupyBackend
+from .numba_backend import NumbaBackend
+from .numpy_backend import NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKENDS",
+    "CupyBackend",
+    "ENV_BACKEND",
+    "NumbaBackend",
+    "NumpyBackend",
+    "backend_name",
+    "get_backend",
+    "get_backend_instance",
+    "resolve_backend",
+    "set_backend_default",
+]
+
+_log = get_logger(__name__)
+
+#: Selection knob: names one of :data:`BACKENDS` process-wide; beats
+#: every explicit override (the operational kill switch back to numpy
+#: is ``REPRO_BACKEND=numpy``).
+ENV_BACKEND = "REPRO_BACKEND"
+
+#: Registered backend names, in fallback-documentation order.
+BACKENDS = ("numpy", "numba", "cupy")
+
+_CLASSES = {
+    "numpy": NumpyBackend,
+    "numba": NumbaBackend,
+    "cupy": CupyBackend,
+}
+
+_DEFAULT_BACKEND = "numpy"
+
+#: One instance per resolved name -- backends may hold caches (cupy's
+#: upload table, numba's compiled kernels) that must be shared by
+#: every kernel of the process.
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def _validate(name: str) -> str:
+    name = str(name).lower()
+    if name not in BACKENDS:
+        raise ConfigError(
+            f"unknown array backend {name!r}; choose from {BACKENDS}"
+        )
+    return name
+
+
+def backend_name(override: Optional[str] = None) -> str:
+    """Requested backend after precedence (env > override > default).
+
+    ``REPRO_BACKEND`` beats an explicit ``override`` (CLI flag, config
+    field) beats the module default set by :func:`set_backend_default`
+    -- the same contract as the warm-pool and shm switches.
+    """
+    env = os.environ.get(ENV_BACKEND)
+    if env:
+        return _validate(env)
+    if override is not None:
+        return _validate(override)
+    return _DEFAULT_BACKEND
+
+
+def set_backend_default(name: str) -> None:
+    """Set the process-wide default used when no override is given."""
+    global _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = _validate(name)
+
+
+def resolve_backend(override: Optional[str] = None) -> str:
+    """Effective backend name: requested, degraded to availability.
+
+    A requested accelerated backend whose dependencies are missing
+    falls back to numpy (counted in ``backend.fallbacks``) instead of
+    failing the run -- results are identical, only slower.
+    """
+    requested = backend_name(override)
+    if _CLASSES[requested].available():
+        return requested
+    metrics = get_registry()
+    if metrics.enabled:
+        metrics.counter("backend.fallbacks").inc()
+    _log.warning(
+        "array backend unavailable, falling back to numpy %s",
+        kv(requested=requested),
+    )
+    return "numpy"
+
+
+def get_backend_instance(name: str) -> ArrayBackend:
+    """The shared instance of one *resolved* backend name."""
+    name = _validate(name)
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        cls = _CLASSES[name]
+        if not cls.available():
+            # a stale resolved name (e.g. unpickled on a host without
+            # the dependency) degrades the same way resolution does
+            return get_backend_instance(resolve_backend("numpy"))
+        instance = _INSTANCES[name] = cls()
+    return instance
+
+
+def get_backend(override: Optional[str] = None) -> ArrayBackend:
+    """Resolve and instantiate in one step (env > override > default)."""
+    return get_backend_instance(resolve_backend(override))

@@ -1,0 +1,154 @@
+"""The array-compute backend interface.
+
+The flow's two hot kernels -- the sparse ``(event, cell)`` strike
+accumulator of :meth:`repro.ser.mc.ArraySerSimulator._process_batch`
+and the tabulated bilinear lookup of
+:meth:`repro.sram.ivtab.IVTables.currents_stacked` -- are pure array
+code.  :class:`ArrayBackend` names exactly the primitives they need,
+so the kernels can run on numpy (the bit-identical default), numba
+(fused segmented-reduction kernels) or cupy (device-resident arrays)
+without touching the physics.
+
+Contract
+--------
+* The **numpy** implementation must be *bit-identical* to the
+  historical inline code: every primitive delegates to the very numpy
+  ufunc call the kernels used to make, in the same order.
+* Accelerated implementations carry a tolerance contract instead
+  (max ``|dPOF| <= 1e-3`` vs numpy, enforced by
+  ``benchmarks/perf/bench_backend.py --check``); their per-segment
+  reductions still accumulate left-to-right so in practice they track
+  numpy far inside that budget.
+* All primitives accept and return *backend-native* arrays;
+  :meth:`ArrayBackend.asarray` / :meth:`ArrayBackend.to_numpy` are the
+  explicit host/device boundary, and :meth:`ArrayBackend.upload` is
+  the fingerprint-cached path for large static tables (I-V surfaces,
+  POF grids) that should cross that boundary once per sweep, not once
+  per batch.
+
+Segmented reductions follow the ``np.ufunc.reduceat`` convention:
+``starts`` is an int array of segment start offsets (``starts[0] ==
+0``); segment ``g`` spans ``values[starts[g]:starts[g + 1]]`` (the
+last one runs to the end).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend:
+    """Abstract array-ops backend (see module docstring).
+
+    Subclasses set :attr:`name` and implement every primitive;
+    :meth:`available` gates optional dependencies so selection can
+    fall back to numpy gracefully.
+    """
+
+    #: Registry name ("numpy", "numba", "cupy").
+    name: str = "abstract"
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend's dependencies import on this host."""
+        raise NotImplementedError
+
+    # -- host/device boundary ----------------------------------------------
+
+    def asarray(self, array, dtype=None):
+        """Backend-native view/copy of a host array."""
+        raise NotImplementedError
+
+    def to_numpy(self, array) -> np.ndarray:
+        """Host ndarray of a backend-native array (no-op on host)."""
+        raise NotImplementedError
+
+    def zeros(self, shape, dtype=np.float64):
+        """Backend-native zero-filled array."""
+        raise NotImplementedError
+
+    def upload(self, array: np.ndarray):
+        """Device-resident copy of a large static host array.
+
+        Keyed on the :func:`repro.parallel.shm.array_fingerprint`
+        sha256 so a sweep uploads each I-V table / POF grid once;
+        host backends return the array unchanged.
+        """
+        raise NotImplementedError
+
+    def synchronize(self) -> None:
+        """Barrier for async device work (no-op on host backends)."""
+
+    # -- sparse strike accumulator primitives -------------------------------
+
+    def unique_inverse(self, keys) -> Tuple[object, object]:
+        """``np.unique(keys, return_inverse=True)`` semantics."""
+        raise NotImplementedError
+
+    def scatter_add(self, target, indices, values) -> None:
+        """In-place ``np.add.at(target, indices, values)`` semantics.
+
+        ``indices`` may be a tuple for multi-axis scatters.  Repeated
+        indices accumulate; the numpy implementation applies them
+        sequentially in element order (the bit-identity anchor).
+        """
+        raise NotImplementedError
+
+    def segment_sum(self, values, starts):
+        """``np.add.reduceat(values, starts)`` semantics."""
+        raise NotImplementedError
+
+    def segment_prod(self, values, starts):
+        """``np.multiply.reduceat(values, starts)`` semantics."""
+        raise NotImplementedError
+
+    def segment_combine(
+        self, pof, starts, one_minus_eps: float
+    ) -> Tuple[object, object, object]:
+        """Per-segment (total, SEU, MBU) failure probabilities.
+
+        The segmented form of eqs. 4-6 (:func:`repro.ser.pof.combine`)
+        over each event's touched cells::
+
+            total = 1 - prod(1 - p)
+            seu   = prod(1 - clip(p)) * sum(clip(p) / (1 - clip(p)))
+            mbu   = max(total - seu, 0)
+
+        with ``clip(p) = min(p, one_minus_eps)`` guarding the ratio.
+        """
+        raise NotImplementedError
+
+    def segment_multiplicity(self, pof, starts, max_k: int):
+        """Summed Poisson-binomial PMF over variable-size segments.
+
+        Returns a length ``max_k + 1`` host-convertible vector: the
+        sum over segments of each segment's failure-count PMF, the top
+        bin absorbing overflow (``k >= max_k``).  Matches
+        :meth:`repro.ser.mc.ArraySerSimulator._sparse_multiplicity`.
+        """
+        raise NotImplementedError
+
+    # -- bilinear table lookup ---------------------------------------------
+
+    def bilinear_gather(self, flat, base, stride: int, fw, fu):
+        """Four flat gathers + bilinear blend (the I-V table lookup).
+
+        ``flat`` is the raveled table (pass it through :meth:`upload`),
+        ``base`` the flat index of each query's lower-left corner,
+        ``stride`` the row pitch, and ``fw`` / ``fu`` the fractional
+        offsets along the fast and slow axes::
+
+            z0 = v[base]          + (v[base + 1]          - v[base])          * fw
+            z1 = v[base + stride] + (v[base + stride + 1] - v[base + stride]) * fw
+            out = z0 + (z1 - z0) * fu
+        """
+        raise NotImplementedError
+
+    # -- conveniences -------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"

@@ -1,0 +1,219 @@
+"""Numba backend: fused, JIT-compiled segmented-reduction kernels.
+
+The numpy path evaluates the segmented eqs. 4-6 as four separate
+``reduceat`` passes plus intermediate temporaries, and runs the
+Poisson-binomial DP rank-by-rank with fancy-indexed gathers per rank.
+This backend fuses each of those into one compiled pass per segment,
+parallelized over segments with ``prange`` -- segments are
+independent, so the parallel schedule never reorders any per-segment
+accumulation (each segment still reduces strictly left-to-right).
+
+Import is gated: the module loads without numba installed and
+:meth:`NumbaBackend.available` reports ``False``, letting
+:func:`repro.backend.get_backend` fall back to numpy.  Kernels compile
+lazily on first use (``cache=False`` -- no ``__pycache__`` writes from
+workers).
+
+Accuracy: per-segment reductions accumulate in the same left-to-right
+order as ``reduceat``, so results match numpy bit-for-bit in practice;
+the *contract* is the tolerance one (max ``|dPOF| <= 1e-3``, enforced
+by ``bench_backend.py --check`` and ``tests/test_backend.py`` when
+numba is installed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .numpy_backend import NumpyBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+__all__ = ["NumbaBackend"]
+
+#: Lazily compiled kernel table (filled by :func:`_kernels`).
+_KERNELS = None
+
+
+def _kernels():
+    """Compile (once) and return the fused segment kernels."""
+    global _KERNELS
+    if _KERNELS is not None:
+        return _KERNELS
+    njit = _numba.njit
+    prange = _numba.prange
+
+    @njit(parallel=True, cache=False)
+    def segment_combine(pof, starts, ends, one_minus_eps, total, seu, mbu):
+        for g in prange(len(starts)):
+            prod_miss = 1.0
+            prod_surv = 1.0
+            ratio_sum = 0.0
+            for i in range(starts[g], ends[g]):
+                p = pof[i]
+                prod_miss *= 1.0 - p
+                c = p if p < one_minus_eps else one_minus_eps
+                sv = 1.0 - c
+                prod_surv *= sv
+                ratio_sum += c / sv
+            t = 1.0 - prod_miss
+            s = prod_surv * ratio_sum
+            m = t - s
+            total[g] = t
+            seu[g] = s
+            mbu[g] = m if m > 0.0 else 0.0
+
+    @njit(parallel=True, cache=False)
+    def segment_multiplicity(pof, starts, ends, out):
+        # out has shape (n_groups, max_k + 1); each segment runs the
+        # full DP locally instead of rank-by-rank across segments.
+        max_k = out.shape[1] - 1
+        for g in prange(len(starts)):
+            out[g, 0] = 1.0
+            for i in range(starts[g], ends[g]):
+                p = pof[i]
+                top = out[g, max_k]
+                for k in range(max_k, 0, -1):
+                    out[g, k] = out[g, k] * (1.0 - p) + out[g, k - 1] * p
+                # the top bin absorbs overflow (k >= max_k stays put)
+                out[g, max_k] += top * p
+                out[g, 0] *= 1.0 - p
+
+    @njit(parallel=True, cache=False)
+    def segment_sum(values, starts, ends, out):
+        for g in prange(len(starts)):
+            acc = 0.0
+            for i in range(starts[g], ends[g]):
+                acc += values[i]
+            out[g] = acc
+
+    @njit(parallel=True, cache=False)
+    def segment_prod(values, starts, ends, out):
+        for g in prange(len(starts)):
+            acc = 1.0
+            for i in range(starts[g], ends[g]):
+                acc *= values[i]
+            out[g] = acc
+
+    @njit(cache=False)
+    def scatter_add2(target, rows, cols, values):
+        # sequential by construction: repeated (row, col) pairs must
+        # accumulate in element order, exactly like np.add.at
+        for i in range(len(values)):
+            target[rows[i], cols[i]] += values[i]
+
+    @njit(parallel=True, cache=False)
+    def bilinear_gather(flat, base, stride, fw, fu, out):
+        for i in prange(base.size):
+            b = base.flat[i]
+            w = fw.flat[i]
+            u = fu.flat[i]
+            v00 = flat[b]
+            v01 = flat[b + 1]
+            v10 = flat[b + stride]
+            v11 = flat[b + stride + 1]
+            z0 = v00 + (v01 - v00) * w
+            z1 = v10 + (v11 - v10) * w
+            out.flat[i] = z0 + (z1 - z0) * u
+
+    _KERNELS = {
+        "segment_combine": segment_combine,
+        "segment_multiplicity": segment_multiplicity,
+        "segment_sum": segment_sum,
+        "segment_prod": segment_prod,
+        "scatter_add2": scatter_add2,
+        "bilinear_gather": bilinear_gather,
+    }
+    return _KERNELS
+
+
+def _ends(starts: np.ndarray, n: int) -> np.ndarray:
+    return np.append(starts[1:], n).astype(np.int64)
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-fused host backend (inherits numpy's boundary primitives)."""
+
+    name = "numba"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _numba is not None
+
+    def scatter_add(self, target, indices, values) -> None:
+        if (
+            isinstance(indices, tuple)
+            and len(indices) == 2
+            and getattr(target, "ndim", 0) == 2
+        ):
+            rows = np.ascontiguousarray(indices[0], dtype=np.int64)
+            cols = np.ascontiguousarray(indices[1], dtype=np.int64)
+            vals = np.ascontiguousarray(values, dtype=np.float64)
+            _kernels()["scatter_add2"](target, rows, cols, vals)
+            return
+        np.add.at(target, indices, values)
+
+    def segment_sum(self, values, starts):
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        out = np.empty(len(starts), dtype=np.float64)
+        _kernels()["segment_sum"](
+            np.ascontiguousarray(values, dtype=np.float64),
+            starts,
+            _ends(starts, len(values)),
+            out,
+        )
+        return out
+
+    def segment_prod(self, values, starts):
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        out = np.empty(len(starts), dtype=np.float64)
+        _kernels()["segment_prod"](
+            np.ascontiguousarray(values, dtype=np.float64),
+            starts,
+            _ends(starts, len(values)),
+            out,
+        )
+        return out
+
+    def segment_combine(self, pof, starts, one_minus_eps: float):
+        pof = np.ascontiguousarray(pof, dtype=np.float64)
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        ends = _ends(starts, len(pof))
+        total = np.empty(len(starts), dtype=np.float64)
+        seu = np.empty(len(starts), dtype=np.float64)
+        mbu = np.empty(len(starts), dtype=np.float64)
+        _kernels()["segment_combine"](
+            pof, starts, ends, float(one_minus_eps), total, seu, mbu
+        )
+        return total, seu, mbu
+
+    def segment_multiplicity(self, pof, starts, max_k: int) -> np.ndarray:
+        pof = np.ascontiguousarray(pof, dtype=np.float64)
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        out = np.zeros((len(starts), max_k + 1), dtype=np.float64)
+        _kernels()["segment_multiplicity"](
+            pof, starts, _ends(starts, len(pof)), out
+        )
+        return out.sum(axis=0)
+
+    def bilinear_gather(self, flat, base, stride: int, fw, fu):
+        base = np.ascontiguousarray(base, dtype=np.int64)
+        fw = np.ascontiguousarray(
+            np.broadcast_to(fw, base.shape), dtype=np.float64
+        )
+        fu = np.ascontiguousarray(
+            np.broadcast_to(fu, base.shape), dtype=np.float64
+        )
+        out = np.empty(base.shape, dtype=np.float64)
+        _kernels()["bilinear_gather"](
+            np.ascontiguousarray(flat, dtype=np.float64),
+            base,
+            int(stride),
+            fw,
+            fu,
+            out,
+        )
+        return out

@@ -1,0 +1,103 @@
+"""Default numpy backend: bit-identical to the historical inline code.
+
+Every primitive is a direct delegate to the exact numpy ufunc call the
+hot kernels used to make inline, in the same order -- so routing
+:meth:`repro.ser.mc.ArraySerSimulator._process_batch` and
+:meth:`repro.sram.ivtab.IVTables.currents_stacked` through this class
+changes no bit of any result (asserted by ``tests/test_backend.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import ArrayBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(ArrayBackend):
+    """Host numpy implementation (always available; the default)."""
+
+    name = "numpy"
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    # -- host/device boundary ----------------------------------------------
+
+    def asarray(self, array, dtype=None):
+        return np.asarray(array, dtype=dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        return np.asarray(array)
+
+    def zeros(self, shape, dtype=np.float64):
+        return np.zeros(shape, dtype=dtype)
+
+    def upload(self, array: np.ndarray):
+        return array
+
+    # -- sparse strike accumulator primitives -------------------------------
+
+    def unique_inverse(self, keys) -> Tuple[np.ndarray, np.ndarray]:
+        return np.unique(keys, return_inverse=True)
+
+    def scatter_add(self, target, indices, values) -> None:
+        np.add.at(target, indices, values)
+
+    def segment_sum(self, values, starts):
+        return np.add.reduceat(values, starts)
+
+    def segment_prod(self, values, starts):
+        return np.multiply.reduceat(values, starts)
+
+    def segment_combine(self, pof, starts, one_minus_eps: float):
+        # verbatim the segmented eqs. 4-6 the sparse kernel inlined
+        total = 1.0 - np.multiply.reduceat(1.0 - pof, starts)
+        clipped = np.minimum(pof, one_minus_eps)
+        survive = 1.0 - clipped
+        seu = np.multiply.reduceat(survive, starts) * np.add.reduceat(
+            clipped / survive, starts
+        )
+        mbu = np.maximum(total - seu, 0.0)
+        return total, seu, mbu
+
+    def segment_multiplicity(self, pof, starts, max_k: int) -> np.ndarray:
+        """Rank-by-rank Poisson-binomial DP (the historical kernel).
+
+        Step ``r`` folds the ``r``-th cell of every segment in at
+        once, so the loop length is the largest per-segment size.
+        """
+        n_groups = len(starts)
+        sizes = np.diff(np.append(starts, len(pof)))
+        group_of = np.repeat(np.arange(n_groups), sizes)
+        rank = np.arange(len(pof)) - starts[group_of]
+
+        pmf = np.zeros((n_groups, max_k + 1), dtype=np.float64)
+        pmf[:, 0] = 1.0
+        for r in range(int(sizes.max())):
+            selected = rank == r
+            rows = group_of[selected]
+            p = pof[selected][:, np.newaxis]
+            block = pmf[rows]
+            shifted = np.zeros_like(block)
+            shifted[:, 1:] = block[:, :-1]
+            # the top bin absorbs overflow (k >= max_k stays in place)
+            shifted[:, -1] += block[:, -1]
+            pmf[rows] = block * (1.0 - p) + shifted * p
+        return pmf.sum(axis=0)
+
+    # -- bilinear table lookup ---------------------------------------------
+
+    def bilinear_gather(self, flat, base, stride: int, fw, fu):
+        v00 = flat[base]
+        v01 = flat[base + 1]
+        v10 = flat[base + stride]
+        v11 = flat[base + stride + 1]
+        z0 = v00 + (v01 - v00) * fw
+        z1 = v10 + (v11 - v10) * fw
+        return z0 + (z1 - z0) * fu

@@ -194,6 +194,15 @@ class SerFlow:
     Execution knobs like ``n_jobs`` -- results are bit-identical
     either way, so they live outside :class:`FlowConfig` and never
     perturb cache keys.
+
+    ``backend`` names the array-compute backend for the hot kernels
+    (``None`` = process default; see :mod:`repro.backend`) and
+    ``fuse`` turns on cross-campaign batch fusion for :meth:`sweep`
+    (:mod:`repro.ser.fusion`): the whole sweep's draw blocks run as
+    one parallel map instead of one map per campaign.  Both are
+    execution knobs in the same sense -- the numpy backend path and
+    the fused schedule are bit-identical to the defaults, so neither
+    lives on :class:`FlowConfig` nor perturbs cache keys.
     """
 
     def __init__(
@@ -206,6 +215,8 @@ class SerFlow:
         resume: bool = True,
         warm_pool: Optional[bool] = None,
         shm: Optional[bool] = None,
+        backend: Optional[str] = None,
+        fuse: bool = False,
     ):
         self.config = config if config is not None else FlowConfig()
         self.design = design if design is not None else SramCellDesign()
@@ -215,6 +226,8 @@ class SerFlow:
         self.resume = resume
         self.warm_pool = warm_pool
         self.shm = shm
+        self.backend = backend
+        self.fuse = bool(fuse)
         self._yield_luts: Optional[Dict[str, ElectronYieldLUT]] = None
         self._pof_table: Optional[PofTable] = None
         self._layout: Optional[SramArrayLayout] = None
@@ -356,6 +369,7 @@ class SerFlow:
                     journal=journal,
                     warm_pool=self.warm_pool,
                     shm=self.shm,
+                    backend=self.backend,
                 )
 
             with span(
@@ -408,6 +422,7 @@ class SerFlow:
                     n_jobs=self.n_jobs,
                     warm_pool=self.warm_pool,
                     shm=self.shm,
+                    backend=self.backend,
                 ),
             )
         return self._simulator
@@ -691,11 +706,20 @@ class SerFlow:
         With a cache directory configured, the sweep result itself is
         cached (keyed by the full flow configuration), so repeated
         analysis/example runs skip the Monte Carlo entirely.
+
+        With ``fuse=True`` the sweep's campaigns run as one fused
+        :class:`~repro.ser.fusion.BatchPlan` instead of one map per
+        (particle, energy, Vdd) point -- bit-identical results (same
+        campaign seeds, same block partition, same merge order), same
+        cache key, fewer fan-outs.  Adaptive allocation does its own
+        cross-bin scheduling, so it keeps the per-case path.
         """
         particles = list(particles or self.config.particles)
         vdd_list = list(vdd_list or self.config.vdd_list)
 
         def build():
+            if self.fuse and self.config.adaptive is None:
+                return self._sweep_fused(particles, vdd_list)
             sweep = SerSweep()
             for particle_name in particles:
                 for vdd in vdd_list:
@@ -716,3 +740,84 @@ class SerFlow:
                     {"particles": particles, "vdds": vdd_list},
                 )
             return build()
+
+    def _sweep_fused(self, particles, vdd_list) -> SerSweep:
+        """Fused replacement for the per-case :meth:`fit` loop.
+
+        Queues every (particle, vdd, energy-bin) campaign of the sweep
+        into one :class:`~repro.ser.fusion.BatchPlan` -- same campaign
+        seeds (:meth:`_campaign_seed` with the ``"fit"`` stage key),
+        same uniform ``mc_particles_per_bin`` budget, so each merged
+        point is bit-identical to the per-campaign result -- then
+        integrates per case exactly as :meth:`fit` does.
+        """
+        from ..ser.fusion import BatchPlan, CampaignPoint
+
+        points = []
+        case_bins = {}
+        case_indices = {}
+        for particle_name in particles:
+            spectrum = spectrum_for(particle_name)
+            e_lo, e_hi = self.config.energy_range_for(particle_name)
+            bins = spectrum.make_bins(self.config.n_energy_bins, e_lo, e_hi)
+            case_bins[particle_name] = bins
+            energies = [float(energy) for energy in bins.representative_mev]
+            for vdd in vdd_list:
+                vdd = float(vdd)
+                indices = []
+                for energy in energies:
+                    indices.append(len(points))
+                    points.append(
+                        CampaignPoint(
+                            index=len(points),
+                            particle_name=particle_name,
+                            energy_mev=energy,
+                            vdd_v=vdd,
+                            n_particles=self.config.mc_particles_per_bin,
+                            seed=self._campaign_seed(
+                                "fit",
+                                particle_name,
+                                f"{vdd:g}",
+                                f"{energy:.9g}",
+                            ),
+                        )
+                    )
+                case_indices[(particle_name, vdd)] = indices
+
+        journal = self._journal_for(
+            "sweep-fused",
+            array_shard_encode,
+            array_shard_decode,
+            self.config,
+            self.design.tech,
+            {
+                "particles": particles,
+                "vdds": [f"{float(vdd):g}" for vdd in vdd_list],
+                "n_particles": int(self.config.mc_particles_per_bin),
+            },
+        )
+        plan = BatchPlan(
+            self.simulator(),
+            points,
+            n_jobs=self.n_jobs,
+            retry=self.retry,
+            journal=journal,
+            warm_pool=self.warm_pool,
+            shm=self.shm,
+            payload=self._campaign_payload(),
+        )
+        results = plan.execute()
+        if journal is not None:
+            journal.clear()
+
+        sweep = SerSweep()
+        for particle_name in particles:
+            bins = case_bins[particle_name]
+            for vdd in vdd_list:
+                vdd = float(vdd)
+                case = [
+                    results[i] for i in case_indices[(particle_name, vdd)]
+                ]
+                self._record_convergence(particle_name, vdd, case)
+                sweep.add(integrate_fit(particle_name, vdd, bins, case))
+        return sweep

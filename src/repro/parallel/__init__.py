@@ -26,6 +26,7 @@ from .shm import (
     MIN_SHM_BYTES,
     PackedPayload,
     SharedArrayPack,
+    array_fingerprint,
     get_pack,
     pack_payload,
     set_shm_default,
@@ -42,6 +43,7 @@ __all__ = [
     "RetryPolicy",
     "SharedArrayPack",
     "ShardJournal",
+    "array_fingerprint",
     "get_lease",
     "get_pack",
     "pack_payload",

@@ -8,6 +8,7 @@ from .heavy_ion import (
     fit_weibull,
 )
 from .fit import FitResult, fit_from_spectrum_run, integrate_fit
+from .fusion import BatchPlan, CampaignPoint
 from .neutron_mc import NeutronMcConfig, NeutronSerSimulator, neutron_fit
 from .mc import (
     DEFAULT_DIRECTION_LAWS,
@@ -39,6 +40,8 @@ __all__ = [
     "ArrayMcConfig",
     "ArrayPofResult",
     "ArraySerSimulator",
+    "BatchPlan",
+    "CampaignPoint",
     "DEPOSITION_MODES",
     "DEFAULT_DIRECTION_LAWS",
     "combine",

@@ -88,7 +88,8 @@ def collect_pair_offsets(
     x_range, y_range, z, _ = layout.launch_window(simulator.config.margin_nm)
     law = simulator.config.law_for(particle.name)
 
-    offsets: Dict[Tuple[int, int], float] = {}
+    code_parts = []
+    value_parts = []
     remaining = n_particles
     while remaining > 0:
         batch = min(remaining, simulator.config.chunk_size)
@@ -97,25 +98,94 @@ def collect_pair_offsets(
         pof_cells = _event_cell_pofs(simulator, particle, energy_mev, vdd_v, rays, rng)
         if pof_cells is None:
             continue
-        event_idx, cell_idx = np.nonzero(pof_cells)
-        for event in np.unique(event_idx):
-            cells = cell_idx[event_idx == event]
-            if len(cells) < 2:
-                continue
-            probs = pof_cells[event, cells]
-            rows, cols = cells // n_cols, cells % n_cols
-            for a in range(len(cells)):
-                for b in range(a + 1, len(cells)):
-                    key = (
-                        int(abs(rows[a] - rows[b])),
-                        int(abs(cols[a] - cols[b])),
-                    )
-                    offsets[key] = offsets.get(key, 0.0) + float(
-                        probs[a] * probs[b]
-                    )
+        stream = _pair_streams(pof_cells, n_cols)
+        if stream is not None:
+            code_parts.append(stream[0])
+            value_parts.append(stream[1])
 
-    normalized = {k: v / n_particles for k, v in offsets.items()}
+    if not code_parts:
+        return PairOffsetStatistics({}, n_particles)
+    # one unbuffered scatter-add over the concatenated streams: adds
+    # land per key in encounter order, so every offset's accumulated
+    # float is bit-identical to the historical dict loop's
+    codes = np.concatenate(code_parts)
+    values = np.concatenate(value_parts)
+    unique_codes, first_pos, inverse = np.unique(
+        codes, return_index=True, return_inverse=True
+    )
+    acc = np.zeros(len(unique_codes), dtype=np.float64)
+    np.add.at(acc, inverse, values)
+    normalized = {
+        (int(unique_codes[i] // n_cols), int(unique_codes[i] % n_cols)): float(
+            acc[i]
+        )
+        / n_particles
+        for i in np.argsort(first_pos, kind="stable")
+    }
     return PairOffsetStatistics(normalized, n_particles)
+
+
+def _pair_streams(pof_cells, n_cols: int):
+    """Offset codes and joint probabilities of one batch's failing pairs.
+
+    Returns ``(codes, values)`` where ``codes[i] = |d_row| * n_cols +
+    |d_col|`` and ``values[i] = p_a * p_b`` for the ``i``-th unordered
+    pair, or ``None`` when the batch has no multi-cell event.  Pairs
+    come out in the exact order of the historical per-event nested
+    loop -- events ascending, then ``a``-major / ``b``-ascending
+    within each event (``np.nonzero`` is row-major, so its flat
+    element order *is* that order) -- which is what keeps the
+    vectorized accumulation bit-identical (see
+    ``tests/test_backend.py``).
+    """
+    event_idx, cell_idx = np.nonzero(pof_cells)
+    n_el = len(event_idx)
+    if n_el == 0:
+        return None
+    # segmented a<b pair expansion over the per-event runs
+    seg_starts = np.flatnonzero(np.r_[True, event_idx[1:] != event_idx[:-1]])
+    sizes = np.diff(np.append(seg_starts, n_el))
+    seg_of = np.repeat(np.arange(len(seg_starts)), sizes)
+    local = np.arange(n_el) - seg_starts[seg_of]
+    partners = sizes[seg_of] - 1 - local
+    n_pairs = int(partners.sum())
+    if n_pairs == 0:
+        return None
+    a_idx = np.repeat(np.arange(n_el), partners)
+    run_starts = np.cumsum(partners) - partners
+    b_idx = a_idx + 1 + (np.arange(n_pairs) - np.repeat(run_starts, partners))
+
+    probs = pof_cells[event_idx, cell_idx]
+    rows = cell_idx // n_cols
+    cols = cell_idx % n_cols
+    d_row = np.abs(rows[a_idx] - rows[b_idx])
+    d_col = np.abs(cols[a_idx] - cols[b_idx])
+    return d_row * n_cols + d_col, probs[a_idx] * probs[b_idx]
+
+
+def _accumulate_pairs_loop(pof_cells, n_cols: int, offsets) -> None:
+    """The pre-vectorization per-event pair loop, verbatim.
+
+    Kept as the reference implementation for the bit-identity
+    regression test of :func:`_pair_streams`; not used on any hot
+    path.
+    """
+    event_idx, cell_idx = np.nonzero(pof_cells)
+    for event in np.unique(event_idx):
+        cells = cell_idx[event_idx == event]
+        if len(cells) < 2:
+            continue
+        probs = pof_cells[event, cells]
+        rows, cols = cells // n_cols, cells % n_cols
+        for a in range(len(cells)):
+            for b in range(a + 1, len(cells)):
+                key = (
+                    int(abs(rows[a] - rows[b])),
+                    int(abs(cols[a] - cols[b])),
+                )
+                offsets[key] = offsets.get(key, 0.0) + float(
+                    probs[a] * probs[b]
+                )
 
 
 def _event_cell_pofs(simulator, particle, energy_mev, vdd_v, rays, rng):

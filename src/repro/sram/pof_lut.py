@@ -24,6 +24,37 @@ from ..errors import ConfigError, LookupError_
 from .strike import ALL_COMBOS, combo_label
 
 
+def _group_codes(codes: np.ndarray):
+    """Rows of each distinct code, codes ascending, rows ascending.
+
+    One stable argsort replaces the historical per-code
+    ``np.nonzero(codes == code)`` rescans (O(n log n) instead of
+    O(k n)); stability keeps each group's rows in original order, so
+    the grouping -- and every downstream gather/scatter -- is
+    identical to the loop it replaced (``_group_codes_loop`` below is
+    kept as the regression reference).
+    """
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    if len(sorted_codes) == 0:
+        return []
+    bounds = np.append(
+        np.flatnonzero(np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]),
+        len(sorted_codes),
+    )
+    return [
+        (int(sorted_codes[start]), order[start:end])
+        for start, end in zip(bounds[:-1], bounds[1:])
+    ]
+
+
+def _group_codes_loop(codes: np.ndarray):
+    """The pre-vectorization grouping, verbatim (test reference only)."""
+    return [
+        (int(code), np.nonzero(codes == code)[0]) for code in np.unique(codes)
+    ]
+
+
 @dataclass
 class PofTable:
     """POF over (Vdd, strike combination, charge grid).
@@ -101,7 +132,7 @@ class PofTable:
             + 4 * active[:, 2].astype(np.int64)
         )
         lo_idx, hi_idx, weight = self._vdd_bracket(vdd_v)
-        for code in np.unique(codes):
+        for code, rows in _group_codes(codes):
             if code == 0:
                 continue
             combo = tuple(i for i in range(3) if code & (1 << i))
@@ -109,7 +140,6 @@ class PofTable:
                 raise LookupError_(
                     f"table has no grid for combination {combo_label(combo)}"
                 )
-            rows = np.nonzero(codes == code)[0]
             points = np.log(
                 np.clip(
                     charges[rows][:, list(combo)],
